@@ -1,0 +1,71 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary:
+//   * builds a grid of ScenarioConfigs,
+//   * runs them with run_batch (repeats from MSTC_REPEATS, default 5;
+//     MSTC_PAPER_SCALE=1 restores the paper's 20 x 100 s setup),
+//   * prints an aligned table whose rows mirror the paper's series, and
+//   * optionally dumps CSV to $MSTC_CSV_DIR for offline plotting.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace mstc::bench {
+
+/// The paper's baseline lineup (Table 1 / Figs. 6-10 order).
+inline const std::vector<std::string> kPaperProtocols = {"MST", "RNG", "SPT-4",
+                                                         "SPT-2"};
+
+/// The paper's mobility axis (m/s). Average moving speed of the random
+/// waypoint model; 1 = walking ... 160 = the paper's stress level.
+inline std::vector<double> speed_axis() {
+  return util::env_list("MSTC_SPEEDS", {1.0, 20.0, 40.0, 80.0, 160.0});
+}
+
+/// The paper's buffer-zone widths (m) from Figs. 7/9/10.
+inline std::vector<double> buffer_axis() {
+  return util::env_list("MSTC_BUFFERS", {0.0, 1.0, 10.0, 100.0});
+}
+
+/// Base scenario with CI-scale defaults and env escalation applied.
+inline runner::ScenarioConfig base_config() {
+  runner::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(
+      util::env_or("MSTC_SEED", std::int64_t{20040426}));  // IPDPS 2004
+  return runner::apply_env_overrides(cfg);
+}
+
+/// "0.874 ±0.021" cell for a per-run summary.
+inline std::string ci_cell(const util::Summary& summary, int precision = 3) {
+  const auto ci = summary.ci95();
+  return util::format_ci(ci.mean, ci.half_width, precision);
+}
+
+/// Prints the table and mirrors it to $MSTC_CSV_DIR/<name>.csv.
+inline void emit(util::Table& table, const std::string& name) {
+  table.print(std::cout);
+  table.maybe_write_csv(util::env_or("MSTC_CSV_DIR", std::string{}), name);
+  std::cout << '\n';
+}
+
+/// Banner with run-scale information, so bench logs are self-describing.
+inline void banner(const std::string& title, std::size_t configs,
+                   std::size_t repeats) {
+  const auto cfg = base_config();
+  std::printf(
+      "=== %s ===\n"
+      "%zu configurations x %zu repeats | %zu nodes, %.0f s sim, "
+      "%.0f floods/s (MSTC_PAPER_SCALE=1 for the paper's 20 x 100 s)\n\n",
+      title.c_str(), configs, repeats, cfg.node_count, cfg.duration,
+      cfg.flood_rate);
+}
+
+}  // namespace mstc::bench

@@ -1,0 +1,50 @@
+// Adaptive buffer: Theorem 5 in practice.
+//
+// Sweeps the mobility axis and compares a fixed 10 m buffer against the
+// theorem's adaptive width l = 2 * Delta'' * v. The adaptive buffer keeps
+// connectivity flat across speeds at the cost of a speed-proportional
+// transmission range — exactly the trade-off Section 4.3 describes.
+//
+//   ./adaptive_buffer [protocol]
+#include <cstdio>
+#include <string>
+
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mstc;
+  const std::string protocol = argc > 1 ? argv[1] : "RNG";
+  const std::size_t repeats = runner::sweep_repeats(3);
+
+  std::printf("%s + view synchronization, fixed vs adaptive buffer zones\n\n",
+              protocol.c_str());
+  std::printf("%8s | %-24s | %-24s\n", "", "fixed 10 m", "adaptive 2*D''*v");
+  std::printf("%8s | %12s %11s | %12s %11s\n", "speed", "connectivity",
+              "range_m", "connectivity", "range_m");
+
+  for (const double speed : {1.0, 10.0, 20.0, 40.0, 80.0}) {
+    runner::ScenarioConfig cfg = runner::apply_env_overrides({});
+    cfg.protocol = protocol;
+    cfg.mode = core::ConsistencyMode::kViewSync;
+    cfg.average_speed = speed;
+
+    cfg.buffer_width = 10.0;
+    cfg.adaptive_buffer = false;
+    const auto fixed = runner::run_repeated(cfg, repeats);
+
+    cfg.buffer_width = 0.0;
+    cfg.adaptive_buffer = true;
+    const auto adaptive = runner::run_repeated(cfg, repeats);
+
+    std::printf("%6.0f   | %12.3f %11.1f | %12.3f %11.1f\n", speed,
+                fixed.delivery().mean(), fixed.range().mean(),
+                adaptive.delivery().mean(), adaptive.range().mean());
+  }
+
+  std::printf(
+      "\nThe fixed buffer degrades once 2 * Delta'' * v outgrows it; the\n"
+      "adaptive buffer tracks the bound and holds connectivity, paying with\n"
+      "a larger transmission range (more energy, less spatial reuse).\n");
+  return 0;
+}

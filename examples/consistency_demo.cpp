@@ -1,0 +1,116 @@
+// Consistency demo: the paper's Fig. 2 three-node partition, step by step.
+//
+// A mobile node w advertises its position twice while moving; node u
+// decides on the old Hello and node v on the new one. Under the MST-based
+// protocol both remove their link to w — the logical topology partitions
+// even though the physical network was connected the whole time. Strong
+// (version-pinned) and weak (interval-cost) consistency both repair it.
+//
+//   ./consistency_demo
+#include <cmath>
+#include <cstdio>
+
+#include "core/controller.hpp"
+
+namespace {
+
+using namespace mstc;
+using core::ConsistencyMode;
+using core::HelloRecord;
+using core::NodeController;
+using geom::Vec2;
+
+// Fig. 2 geometry: d(u,v) = 5; w moves from W0 (6 from u, 4 from v) to
+// W1 (4 from u, 6 from v).
+const Vec2 kU{0.0, 0.0};
+const Vec2 kV{5.0, 0.0};
+const Vec2 kW0{4.5, std::sqrt(15.75)};
+const Vec2 kW1{0.5, std::sqrt(15.75)};
+
+HelloRecord hello(core::NodeId sender, Vec2 p, std::uint64_t version,
+                  double time) {
+  return HelloRecord{sender, {p, version, time}};
+}
+
+void feed_schedule(NodeController& u, NodeController& v, NodeController& w) {
+  // u hears v and w's FIRST Hello, then decides (before w's second Hello).
+  u.on_hello_receive(hello(1, kV, 1, 0.1), 0.1);
+  u.on_hello_receive(hello(2, kW0, 1, 0.2), 0.2);
+  u.on_hello_send(0.9, kU, 1);
+  // v hears everything including w's SECOND Hello, then decides.
+  v.on_hello_receive(hello(0, kU, 1, 0.1), 0.1);
+  v.on_hello_receive(hello(2, kW0, 1, 0.2), 0.2);
+  v.on_hello_receive(hello(2, kW1, 2, 1.0), 1.0);
+  v.on_hello_send(1.1, kV, 1);
+  // w keeps its own first advertisement in store and decides after moving.
+  w.on_hello_receive(hello(0, kU, 1, 0.1), 0.1);
+  w.on_hello_receive(hello(1, kV, 1, 0.1), 0.1);
+  w.on_hello_receive(hello(2, kW0, 1, 0.2), 0.2);
+  w.on_hello_send(1.0, kW1, 2);
+}
+
+void report(const char* title, const NodeController& u,
+            const NodeController& v, const NodeController& w) {
+  const auto fmt = [](const NodeController& node) {
+    std::string out = "{";
+    for (auto id : node.logical_neighbors()) {
+      out += std::string(out.size() > 1 ? "," : "") + "uvw"[id];
+    }
+    return out + "}";
+  };
+  const auto mutual = [](const NodeController& a, const NodeController& b) {
+    return a.is_logical(b.id()) && b.is_logical(a.id());
+  };
+  const bool connected = mutual(u, v) && (mutual(u, w) || mutual(v, w));
+  std::printf("%-28s u->%-6s v->%-6s w->%-6s  logical topology %s\n", title,
+              fmt(u).c_str(), fmt(v).c_str(), fmt(w).c_str(),
+              connected ? "CONNECTED" : "PARTITIONED (w cut off)");
+}
+
+}  // namespace
+
+int main() {
+  const topology::DistanceCost cost;
+  const topology::LmstProtocol mst;
+
+  std::printf(
+      "Fig. 2 scenario: u=(0,0), v=(5,0); w advertises W0 then moves to "
+      "W1.\n"
+      "Costs: c(u,v)=5; c(u,w)/c(v,w) are 6/4 at W0 and 4/6 at W1.\n\n");
+
+  {  // 1. Mobility-insensitive baseline: latest Hello wins.
+    core::ControllerConfig config;  // Latest mode
+    NodeController u(0, mst, cost, config), v(1, mst, cost, config),
+        w(2, mst, cost, config);
+    feed_schedule(u, v, w);
+    report("baseline (inconsistent):", u, v, w);
+  }
+  {  // 2. Strong consistency: all three pin their decision to version 1.
+    core::ControllerConfig config;
+    config.mode = ConsistencyMode::kProactive;
+    config.history_limit = 3;
+    NodeController u(0, mst, cost, config), v(1, mst, cost, config),
+        w(2, mst, cost, config);
+    feed_schedule(u, v, w);
+    u.refresh_selection_versioned(1.5, 1);
+    v.refresh_selection_versioned(1.5, 1);
+    w.refresh_selection_versioned(1.5, 1);
+    report("strong (version-pinned):", u, v, w);
+  }
+  {  // 3. Weak consistency: two stored Hellos, enhanced removal conditions.
+    core::ControllerConfig config;
+    config.mode = ConsistencyMode::kWeak;
+    config.history_limit = 2;
+    NodeController u(0, mst, cost, config), v(1, mst, cost, config),
+        w(2, mst, cost, config);
+    feed_schedule(u, v, w);
+    report("weak (interval costs):", u, v, w);
+  }
+
+  std::printf(
+      "\nThe baseline partitions because u and v used different versions of\n"
+      "w's location (Section 3.2). Pinning one version (Theorem 1) or using\n"
+      "interval costs over recent versions (Theorem 4) keeps the logical\n"
+      "topology connected without touching the MST protocol itself.\n");
+  return 0;
+}

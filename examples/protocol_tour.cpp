@@ -1,0 +1,85 @@
+// Protocol tour: every topology-control protocol in the library on one
+// static deployment, side by side.
+//
+// Shows the trade-off each protocol strikes between transmission range,
+// node degree, and structural redundancy — the paper's Table 1 extended
+// to the whole protocol family (Gabriel, Yao, CBTC, K-Neigh included).
+//
+//   ./protocol_tour [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/algorithms.hpp"
+#include "metrics/energy.hpp"
+#include "topology/builder.hpp"
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mstc;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  constexpr double kNormalRange = 250.0;
+
+  // One connected random deployment for all protocols.
+  util::Xoshiro256 rng(seed);
+  std::vector<geom::Vec2> positions;
+  do {
+    positions.clear();
+    for (int i = 0; i < 100; ++i) {
+      positions.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+    }
+  } while (!graph::is_connected(
+      topology::original_graph(positions, kNormalRange)));
+
+  const auto original = topology::original_graph(positions, kNormalRange);
+  std::printf(
+      "100 nodes, 900x900 m, normal range %.0f m: %zu links, degree %.1f\n\n",
+      kNormalRange, original.edge_count(), original.average_degree());
+  std::printf("%-9s %9s %8s %7s %11s %9s %s\n", "protocol", "range_m",
+              "degree", "links", "connected?", "lifetime", "notes");
+
+  const struct {
+    const char* name;
+    const char* notes;
+  } lineup[] = {
+      {"MST", "minimal: near-tree, most fragile under mobility"},
+      {"RNG", "lune test; moderate redundancy"},
+      {"Gabriel", "disk test; superset of RNG"},
+      {"SPT-4", "min-energy, two-ray ground (alpha=4)"},
+      {"SPT-2", "min-energy, free space (alpha=2); densest baseline"},
+      {"SPT-R", "min-energy with a dynamic search region"},
+      {"Yao", "6 cones, cheapest neighbor per cone"},
+      {"Yao2", "fault-tolerant: 2 neighbors per cone"},
+      {"Yao3", "fault-tolerant: 3 neighbors per cone"},
+      {"CBTC", "cone coverage 2*pi/3; direction info only"},
+      {"CBTC2", "cone pi/3: 2-connectivity-oriented"},
+      {"CBTC3", "cone 2*pi/9: 3-connectivity-oriented"},
+      {"KNeigh", "9 nearest; probabilistic, no hard guarantee"},
+      {"None", "no control: the original topology"},
+  };
+  const metrics::EnergyModel energy{.alpha = 2.0,
+                                    .tx_fixed_power = 0.1,
+                                    .amp_scale = 1e-3,
+                                    .rx_power = 0.05};
+  for (const auto& entry : lineup) {
+    const auto suite = topology::make_protocol(entry.name);
+    const auto topo = topology::build_topology(positions, kNormalRange,
+                                               *suite.protocol, *suite.cost);
+    const auto logical = topology::logical_graph(topo, positions);
+    const auto lifetime =
+        metrics::estimate_lifetime(energy, topo, kNormalRange);
+    std::printf("%-9s %9.1f %8.2f %7zu %11s %8.1fx %s\n", entry.name,
+                topo.average_range(), topo.average_logical_degree(),
+                logical.edge_count(),
+                graph::is_connected(logical) ? "yes" : "no",
+                lifetime.first_death_ratio, entry.notes);
+  }
+
+  std::printf(
+      "\nEvery protocol with a connectivity guarantee stays connected on\n"
+      "consistent views (Theorem 1). The mobility-sensitive framework\n"
+      "(see mobile_broadcast) wraps ALL of them without modification —\n"
+      "that is the paper's central claim.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench CSV dumps.
+
+Usage:
+    MSTC_CSV_DIR=out ./build/bench/bench_fig6   # ... and the others
+    python3 scripts/plot_results.py out plots/
+
+Produces one PNG per figure, mirroring the paper's layout: connectivity
+ratio vs average moving speed, one sub-plot per protocol where the paper
+uses one (Figs. 7, 9, 10). Requires matplotlib.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def mean_of(cell):
+    """Parse '0.874 ±0.021' or plain numbers."""
+    return float(cell.split("±")[0].strip())
+
+
+def series_plot(ax, rows, x_key, y_key, group_key):
+    groups = defaultdict(list)
+    for row in rows:
+        groups[row[group_key]].append(
+            (float(row[x_key]), mean_of(row[y_key])))
+    for label, points in groups.items():
+        points.sort()
+        ax.plot([p[0] for p in points], [p[1] for p in points],
+                marker="o", label=str(label))
+    ax.set_xlabel(x_key)
+    ax.set_ylabel(y_key)
+    ax.set_xscale("log")
+    ax.set_ylim(0.0, 1.05)
+    ax.legend(fontsize=7)
+
+
+def plot_fig6(rows, out):
+    import matplotlib.pyplot as plt
+    fig, ax = plt.subplots(figsize=(5, 4))
+    series_plot(ax, rows, "speed_mps", "connectivity", "protocol")
+    ax.set_title("Fig. 6: baseline connectivity vs mobility")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_per_protocol(rows, series_key, title, out):
+    import matplotlib.pyplot as plt
+    protocols = sorted({row["protocol"] for row in rows})
+    fig, axes = plt.subplots(2, 2, figsize=(9, 7))
+    for ax, protocol in zip(axes.flat, protocols):
+        subset = [row for row in rows if row["protocol"] == protocol]
+        series_plot(ax, subset, "speed_mps", "connectivity", series_key)
+        ax.set_title(protocol)
+    fig.suptitle(title)
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "plots"
+    os.makedirs(out_dir, exist_ok=True)
+    jobs = [
+        ("fig6.csv", lambda rows, out: plot_fig6(rows, out), "fig6.png"),
+        ("fig7.csv",
+         lambda rows, out: plot_per_protocol(
+             rows, "buffer_m", "Fig. 7: buffer zones", out), "fig7.png"),
+        ("fig9.csv",
+         lambda rows, out: plot_per_protocol(
+             rows, "view_sync", "Fig. 9: view synchronization", out),
+         "fig9.png"),
+        ("fig10.csv",
+         lambda rows, out: plot_per_protocol(
+             rows, "physical_neighbors", "Fig. 10: physical neighbors", out),
+         "fig10.png"),
+    ]
+    for source, plot, target in jobs:
+        path = os.path.join(csv_dir, source)
+        if not os.path.exists(path):
+            print(f"skip {source} (not found in {csv_dir})")
+            continue
+        plot(read_csv(path), os.path.join(out_dir, target))
+        print(f"wrote {os.path.join(out_dir, target)}")
+
+
+if __name__ == "__main__":
+    main()

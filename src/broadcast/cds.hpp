@@ -1,0 +1,52 @@
+// Connected dominating sets for efficient broadcast (Wu & Li's marking
+// process with pruning rules 1 and 2).
+//
+// The paper leans on this companion line of work twice: the reactive
+// synchronization flood "can be efficiently implemented by selecting a
+// small forward node set [34]", and the CDS mobility-management scheme
+// [35] inspired the buffer-zone idea. This module provides the classic
+// localized CDS construction so broadcast cost can be compared against
+// blind flooding (see bench_ablation_broadcast).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstc::broadcast {
+
+/// Wu-Li marking process: node u is marked iff it has two neighbors that
+/// are not adjacent to each other. On a connected graph the marked set is
+/// a connected dominating set (possibly large).
+[[nodiscard]] std::vector<bool> wu_li_marking(const graph::Graph& g);
+
+/// Pruning Rule 1: unmark u when some marked neighbor v with higher id
+/// covers it (N[u] ⊆ N[v]). Rule 2: unmark u when two adjacent... marked
+/// neighbors v, w (both with higher ids) jointly cover it
+/// (N(u) ⊆ N(v) ∪ N(w)). Preserves the CDS property.
+[[nodiscard]] std::vector<bool> prune(const graph::Graph& g,
+                                      std::vector<bool> marked);
+
+/// Convenience: marking + pruning.
+[[nodiscard]] std::vector<bool> connected_dominating_set(const graph::Graph& g);
+
+/// True when every unmarked node has a marked neighbor and the marked
+/// nodes induce a connected subgraph (trivially true when <= 1 marked).
+[[nodiscard]] bool is_connected_dominating_set(const graph::Graph& g,
+                                               const std::vector<bool>& in_set);
+
+/// Number of transmissions a broadcast needs when only set members forward
+/// (the source always transmits): 1 + |set \ {source}| reachable members.
+/// Returns the count of nodes that would transmit for a flood from
+/// `source`, or 0 when the source id is out of range.
+[[nodiscard]] std::size_t forward_count(const graph::Graph& g,
+                                        const std::vector<bool>& in_set,
+                                        graph::NodeId source);
+
+/// Fraction of nodes that receive a broadcast from `source` when only set
+/// members forward.
+[[nodiscard]] double broadcast_coverage(const graph::Graph& g,
+                                        const std::vector<bool>& in_set,
+                                        graph::NodeId source);
+
+}  // namespace mstc::broadcast

@@ -1,0 +1,37 @@
+// Delay and mobility management: the buffer zone (Section 4.3).
+//
+// Each node transmits with the *extended* range r + l, where r is the
+// actual range chosen by the topology-control protocol and l the buffer
+// zone width. Theorem 5: l = 2 * Delta'' * v (max delay times max speed)
+// guarantees every logical link stays an effective link.
+#pragma once
+
+#include <algorithm>
+
+namespace mstc::core {
+
+struct BufferZoneConfig {
+  /// Fixed buffer width in meters (the paper's 1 m / 10 m / 100 m sweep).
+  double width = 0.0;
+  /// When true, width is computed as 2 * delay_bound * max_speed
+  /// (Theorem 5) and `width` acts as a lower bound.
+  bool adaptive = false;
+  double max_speed = 0.0;    ///< v: maximum node speed (m/s)
+  double delay_bound = 0.0;  ///< Delta'': maximal Hello age (s)
+};
+
+/// Effective buffer width under `config`.
+[[nodiscard]] constexpr double buffer_width(
+    const BufferZoneConfig& config) noexcept {
+  if (!config.adaptive) return config.width;
+  return std::max(config.width,
+                  2.0 * config.delay_bound * config.max_speed);
+}
+
+/// Theorem 5's guaranteed-safe width for a given delay bound and speed.
+[[nodiscard]] constexpr double safe_buffer_width(double delay_bound,
+                                                 double max_speed) noexcept {
+  return 2.0 * delay_bound * max_speed;
+}
+
+}  // namespace mstc::core

@@ -1,0 +1,143 @@
+#include "core/consistency.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace mstc::core {
+
+namespace {
+
+/// Assembles a ViewGraph from one chosen position list per view member
+/// (owner first). Owner-neighbor links always exist (the neighbor was
+/// heard); neighbor-neighbor links exist only when their viewed distance
+/// can be certified <= normal_range (max over version combinations).
+topology::ViewGraph assemble(
+    NodeId owner, const std::vector<NodeId>& ids,
+    const std::vector<std::vector<topology::VersionedPosition>>& versions,
+    double normal_range, const topology::CostModel& cost) {
+  assert(!ids.empty() && ids[0] == owner);
+  topology::ViewGraph view(owner, ids.size() - 1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    view.set_id(i, ids[i]);
+    // Representative: the newest stored position (front).
+    view.set_representative(i, versions[i].front().position);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      double d_min = std::numeric_limits<double>::infinity();
+      double d_max = 0.0;
+      for (const auto& a : versions[i]) {
+        for (const auto& b : versions[j]) {
+          const double d = geom::distance(a.position, b.position);
+          d_min = std::min(d_min, d);
+          d_max = std::max(d_max, d);
+        }
+      }
+      // Owner-neighbor links exist by virtue of the received Hello;
+      // neighbor-neighbor links must certainly be within range.
+      if (i != 0 && d_max > normal_range) continue;
+      view.set_link(i, j, d_min, d_max,
+                    topology::CostKey::make(cost.cost(d_min), ids[i], ids[j]),
+                    topology::CostKey::make(cost.cost(d_max), ids[i], ids[j]));
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+std::string_view to_string(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kLatest:
+      return "latest";
+    case ConsistencyMode::kViewSync:
+      return "viewsync";
+    case ConsistencyMode::kProactive:
+      return "proactive";
+    case ConsistencyMode::kReactive:
+      return "reactive";
+    case ConsistencyMode::kWeak:
+      return "weak";
+  }
+  return "unknown";
+}
+
+ConsistencyMode consistency_mode_from(std::string_view name) {
+  if (name == "latest") return ConsistencyMode::kLatest;
+  if (name == "viewsync") return ConsistencyMode::kViewSync;
+  if (name == "proactive") return ConsistencyMode::kProactive;
+  if (name == "reactive") return ConsistencyMode::kReactive;
+  if (name == "weak") return ConsistencyMode::kWeak;
+  throw std::invalid_argument("unknown consistency mode: " + std::string(name));
+}
+
+topology::ViewGraph build_latest_view(const LocalViewStore& store,
+                                      double normal_range,
+                                      const topology::CostModel& cost) {
+  std::vector<NodeId> ids{store.owner()};
+  std::vector<std::vector<topology::VersionedPosition>> versions;
+  const auto own = store.latest(store.owner());
+  assert(own.has_value() && "owner must have advertised at least once");
+  versions.push_back({*own});
+  for (NodeId neighbor : store.neighbors()) {
+    const auto record = store.latest(neighbor);
+    if (!record) continue;
+    ids.push_back(neighbor);
+    versions.push_back({*record});
+  }
+  return assemble(store.owner(), ids, versions, normal_range, cost);
+}
+
+std::optional<topology::ViewGraph> build_versioned_view(
+    const LocalViewStore& store, std::uint64_t version, double normal_range,
+    const topology::CostModel& cost) {
+  const auto own = store.at_version(store.owner(), version);
+  if (!own) return std::nullopt;
+  std::vector<NodeId> ids{store.owner()};
+  std::vector<std::vector<topology::VersionedPosition>> versions;
+  versions.push_back({*own});
+  for (NodeId neighbor : store.neighbors()) {
+    const auto record = store.at_version(neighbor, version);
+    if (!record) continue;
+    ids.push_back(neighbor);
+    versions.push_back({*record});
+  }
+  return assemble(store.owner(), ids, versions, normal_range, cost);
+}
+
+topology::ViewGraph build_weak_view(const LocalViewStore& store,
+                                    double normal_range,
+                                    const topology::CostModel& cost) {
+  std::vector<NodeId> ids{store.owner()};
+  std::vector<std::vector<topology::VersionedPosition>> versions;
+  versions.push_back(store.history(store.owner()));
+  assert(!versions.front().empty() &&
+         "owner must have advertised at least once");
+  for (NodeId neighbor : store.neighbors()) {
+    auto history = store.history(neighbor);
+    if (history.empty()) continue;
+    ids.push_back(neighbor);
+    versions.push_back(std::move(history));
+  }
+  return assemble(store.owner(), ids, versions, normal_range, cost);
+}
+
+double delay_bound(ConsistencyMode mode, double hello_interval,
+                   std::size_t history_limit, double flood_delay_bound) {
+  switch (mode) {
+    case ConsistencyMode::kProactive:
+      return 2.0 * hello_interval;
+    case ConsistencyMode::kReactive:
+      return hello_interval + flood_delay_bound;
+    case ConsistencyMode::kWeak:
+      return (static_cast<double>(history_limit) + 1.0) * hello_interval;
+    case ConsistencyMode::kLatest:
+    case ConsistencyMode::kViewSync:
+      return 2.0 * hello_interval;
+  }
+  return 2.0 * hello_interval;
+}
+
+}  // namespace mstc::core

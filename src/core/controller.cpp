@@ -1,0 +1,92 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+namespace mstc::core {
+
+NodeController::NodeController(NodeId id, const topology::Protocol& protocol,
+                               const topology::CostModel& cost,
+                               ControllerConfig config)
+    : id_(id),
+      protocol_(protocol),
+      cost_(cost),
+      config_(config),
+      store_(id, config.history_limit, config.view_expiry) {}
+
+HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
+                                          std::uint64_t version) {
+  const HelloRecord hello{id_, {true_position, version, now}};
+  store_.record(hello);
+  ++hellos_sent_;
+  switch (config_.mode) {
+    case ConsistencyMode::kLatest:
+    case ConsistencyMode::kViewSync:
+    case ConsistencyMode::kWeak:
+      refresh_selection(now);
+      break;
+    case ConsistencyMode::kProactive:
+      // Decide one version back: by now every neighbor's previous-version
+      // Hello has certainly arrived (Section 4.1, proactive approach).
+      if (version > 0) refresh_selection_versioned(now, version - 1);
+      break;
+    case ConsistencyMode::kReactive:
+      // The runner triggers the versioned refresh after the bounded wait
+      // that follows the synchronization flood.
+      break;
+  }
+  return hello;
+}
+
+void NodeController::on_hello_receive(const HelloRecord& hello, double now) {
+  store_.record(hello);
+  store_.expire(now);
+}
+
+void NodeController::refresh_selection(double now) {
+  store_.expire(now);
+  if (!store_.latest(id_)) return;  // nothing advertised yet
+  if (config_.mode == ConsistencyMode::kWeak) {
+    apply_selection(build_weak_view(store_, config_.normal_range, cost_));
+  } else {
+    apply_selection(build_latest_view(store_, config_.normal_range, cost_));
+  }
+}
+
+void NodeController::refresh_selection_versioned(double now,
+                                                 std::uint64_t version) {
+  store_.expire(now);
+  const auto view =
+      build_versioned_view(store_, version, config_.normal_range, cost_);
+  if (view) apply_selection(*view);
+}
+
+void NodeController::apply_selection(const topology::ViewGraph& view) {
+  const auto chosen = protocol_.select(view);
+  logical_.clear();
+  logical_.reserve(chosen.size());
+  actual_range_ = 0.0;
+  for (std::size_t index : chosen) {
+    logical_.push_back(view.id(index));
+    // Cover every stored position of the neighbor (conservative under
+    // interval views; equals the viewed distance for point views). The
+    // relative pad rounds the power *up* so the farthest neighbor is never
+    // lost to sqrt round-off when ranges are compared against squared
+    // distances.
+    actual_range_ =
+        std::max(actual_range_, view.distance_max(0, index) * (1.0 + 1e-9));
+  }
+  std::sort(logical_.begin(), logical_.end());
+}
+
+bool NodeController::is_logical(NodeId neighbor) const {
+  return std::binary_search(logical_.begin(), logical_.end(), neighbor);
+}
+
+double NodeController::extended_range() const noexcept {
+  // Theorem 5 requires the full r + l; the buffer may push a node's power
+  // past the normal range (the paper does not cap it either).
+  if (logical_.empty()) return 0.0;
+  return actual_range_ + buffer_width(config_.buffer);
+}
+
+}  // namespace mstc::core

@@ -1,0 +1,98 @@
+// Per-node topology-control state machine.
+//
+// A NodeController owns one node's LocalViewStore, runs the configured
+// protocol over the view assembled by the configured consistency mode, and
+// exposes the resulting logical neighbor set and (extended) transmission
+// range. It is driven by the simulation runner:
+//   on_hello_send    -> record own advertised position, then (for periodic
+//                       updating modes) refresh the selection
+//   on_hello_receive -> record a neighbor's Hello
+//   refresh_selection / refresh_selection_versioned -> recompute logical set
+#pragma once
+
+#include <vector>
+
+#include "core/buffer_zone.hpp"
+#include "core/consistency.hpp"
+#include "topology/protocol.hpp"
+
+namespace mstc::core {
+
+struct ControllerConfig {
+  double normal_range = 250.0;
+  ConsistencyMode mode = ConsistencyMode::kLatest;
+  /// Stored Hello records per sender (k of Section 4.2; 1 for baselines,
+  /// 2-3 for weak consistency, >= 2 for proactive version pinning).
+  std::size_t history_limit = 1;
+  /// Neighbor expiry: drop nodes not heard from for this long (seconds).
+  double view_expiry = 3.0;
+  BufferZoneConfig buffer;
+  /// Accept data packets from non-logical physical neighbors (the paper's
+  /// "physical neighbor" enhancement). Queried by the runner.
+  bool accept_physical_neighbors = false;
+};
+
+class NodeController {
+ public:
+  NodeController(NodeId id, const topology::Protocol& protocol,
+                 const topology::CostModel& cost, ControllerConfig config);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Records the position this node is about to advertise and returns the
+  /// Hello to broadcast. Also refreshes the logical selection (the paper:
+  /// "each node updates its logical neighbor set whenever it sends a
+  /// 'Hello' message").
+  HelloRecord on_hello_send(double now, geom::Vec2 true_position,
+                            std::uint64_t version);
+
+  /// Records a received neighbor Hello.
+  void on_hello_receive(const HelloRecord& hello, double now);
+
+  /// Recomputes the logical selection from the current store per the
+  /// configured mode (ViewSync calls this on every packet transmission).
+  void refresh_selection(double now);
+
+  /// Proactive/Reactive: recompute pinned to a Hello version. No-op when
+  /// the owner has no record of that version (keeps the prior selection,
+  /// the paper's "wait before migrating to the next local view").
+  void refresh_selection_versioned(double now, std::uint64_t version);
+
+  /// Sorted global ids of current logical neighbors.
+  [[nodiscard]] const std::vector<NodeId>& logical_neighbors() const noexcept {
+    return logical_;
+  }
+  [[nodiscard]] bool is_logical(NodeId neighbor) const;
+
+  /// Actual range: distance to the farthest logical neighbor as certified
+  /// by the view used for the last selection.
+  [[nodiscard]] double actual_range() const noexcept { return actual_range_; }
+
+  /// Extended range = actual range + buffer width (0 with no logical
+  /// neighbors). Not capped: Theorem 5's guarantee needs the full r + l.
+  [[nodiscard]] double extended_range() const noexcept;
+
+  /// Number of Hello versions this node has sent.
+  [[nodiscard]] std::uint64_t hello_count() const noexcept {
+    return hellos_sent_;
+  }
+
+  [[nodiscard]] const LocalViewStore& store() const noexcept { return store_; }
+
+ private:
+  void apply_selection(const topology::ViewGraph& view);
+
+  NodeId id_;
+  const topology::Protocol& protocol_;
+  const topology::CostModel& cost_;
+  ControllerConfig config_;
+  LocalViewStore store_;
+  std::vector<NodeId> logical_;
+  double actual_range_ = 0.0;
+  std::uint64_t hellos_sent_ = 0;
+};
+
+}  // namespace mstc::core

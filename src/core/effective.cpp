@@ -1,0 +1,29 @@
+#include "core/effective.hpp"
+
+#include <cassert>
+
+namespace mstc::core {
+
+bool can_deliver(const NodeController& from, const NodeController& to,
+                 double distance) {
+  if (distance > from.extended_range()) return false;
+  return to.config().accept_physical_neighbors || from.is_logical(to.id());
+}
+
+graph::Graph effective_snapshot(std::span<const NodeController> controllers,
+                                std::span<const geom::Vec2> positions) {
+  assert(controllers.size() == positions.size());
+  graph::Graph g(controllers.size());
+  for (std::size_t u = 0; u < controllers.size(); ++u) {
+    for (std::size_t v = u + 1; v < controllers.size(); ++v) {
+      const double d = geom::distance(positions[u], positions[v]);
+      if (can_deliver(controllers[u], controllers[v], d) &&
+          can_deliver(controllers[v], controllers[u], d)) {
+        g.add_edge(u, v, d);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace mstc::core

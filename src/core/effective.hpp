@@ -1,0 +1,31 @@
+// Effective-topology snapshots (strict connectivity).
+//
+// Given every node's current controller state and ground-truth positions,
+// builds the graph a "god's-eye" snapshot would see:
+//  - without physical neighbors: effective links are mutual logical links
+//    covered by both extended ranges (the paper's E'');
+//  - with physical neighbors: any pair covered by both extended ranges
+//    communicates bidirectionally, logical or not.
+#pragma once
+
+#include <span>
+
+#include "core/controller.hpp"
+#include "graph/graph.hpp"
+
+namespace mstc::core {
+
+/// Snapshot of the effective topology. `positions[i]` is the ground-truth
+/// position of controllers[i]'s node at the snapshot time.
+[[nodiscard]] graph::Graph effective_snapshot(
+    std::span<const NodeController> controllers,
+    std::span<const geom::Vec2> positions);
+
+/// Directed usability test for one transmission: can `from` deliver a data
+/// packet to `to` right now? Requires `to` within `from`'s extended range
+/// and either `to` logical at `from` or the physical-neighbor enhancement
+/// active at the *receiver* side (the receiver decides whether to drop).
+[[nodiscard]] bool can_deliver(const NodeController& from,
+                               const NodeController& to, double distance);
+
+}  // namespace mstc::core

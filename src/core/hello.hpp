@@ -1,0 +1,30 @@
+// "Hello" beacon payload.
+//
+// Each node advertises (id, position, version, send time) with the normal
+// transmission range. Every consistency mechanism in this library is
+// defined purely in terms of which Hello versions a decision uses.
+#pragma once
+
+#include "sim/medium.hpp"
+#include "topology/view_graph.hpp"
+
+namespace mstc::core {
+
+using sim::NodeId;
+
+struct HelloRecord {
+  NodeId sender = 0;
+  topology::VersionedPosition advertised;
+
+  [[nodiscard]] geom::Vec2 position() const noexcept {
+    return advertised.position;
+  }
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return advertised.version;
+  }
+  [[nodiscard]] double send_time() const noexcept {
+    return advertised.send_time;
+  }
+};
+
+}  // namespace mstc::core

@@ -1,0 +1,76 @@
+#include "core/view_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mstc::core {
+
+LocalViewStore::LocalViewStore(NodeId owner, std::size_t history_limit,
+                               double expiry)
+    : owner_(owner), history_limit_(history_limit), expiry_(expiry) {
+  assert(history_limit_ >= 1);
+  assert(expiry_ > 0.0);
+}
+
+void LocalViewStore::record(const HelloRecord& hello) {
+  auto& history = entries_[hello.sender];
+  // Insert keeping newest-first order by version (receptions can reorder
+  // only marginally; handle it anyway for robustness).
+  const auto insert_at = std::find_if(
+      history.begin(), history.end(),
+      [&](const topology::VersionedPosition& existing) {
+        return existing.version <= hello.advertised.version;
+      });
+  if (insert_at != history.end() &&
+      insert_at->version == hello.advertised.version) {
+    *insert_at = hello.advertised;  // duplicate delivery: refresh in place
+  } else {
+    history.insert(insert_at, hello.advertised);
+  }
+  if (history.size() > history_limit_) history.resize(history_limit_);
+}
+
+void LocalViewStore::expire(double now) {
+  const double cutoff = now - expiry_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool stale =
+        it->first != owner_ &&
+        (it->second.empty() || it->second.front().send_time < cutoff);
+    it = stale ? entries_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<topology::VersionedPosition> LocalViewStore::history(
+    NodeId sender) const {
+  const auto it = entries_.find(sender);
+  return it == entries_.end() ? std::vector<topology::VersionedPosition>{}
+                              : it->second;
+}
+
+std::optional<topology::VersionedPosition> LocalViewStore::latest(
+    NodeId sender) const {
+  const auto it = entries_.find(sender);
+  if (it == entries_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::optional<topology::VersionedPosition> LocalViewStore::at_version(
+    NodeId sender, std::uint64_t version) const {
+  const auto it = entries_.find(sender);
+  if (it == entries_.end()) return std::nullopt;
+  for (const auto& record : it->second) {
+    if (record.version == version) return record;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> LocalViewStore::neighbors() const {
+  std::vector<NodeId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [sender, history] : entries_) {
+    if (sender != owner_ && !history.empty()) ids.push_back(sender);
+  }
+  return ids;
+}
+
+}  // namespace mstc::core

@@ -1,0 +1,65 @@
+// Per-node storage of recent Hello records.
+//
+// Keeps up to `history_limit` recent records per sender (newest first) and
+// expires senders not heard from within the expiry window — the paper's
+// rule that a link (u, v) exists at t only if a Hello was received during
+// [t - Delta_expire, t]. The node's own advertised positions are stored
+// under its own id, because every consistency scheme requires decisions to
+// use the *advertised* self-position, not the true current one.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hello.hpp"
+
+namespace mstc::core {
+
+class LocalViewStore {
+ public:
+  /// `history_limit` >= 1; `expiry` in seconds (records from senders whose
+  /// newest record is older than expiry are dropped wholesale).
+  LocalViewStore(NodeId owner, std::size_t history_limit, double expiry);
+
+  [[nodiscard]] NodeId owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t history_limit() const noexcept {
+    return history_limit_;
+  }
+
+  /// Records a Hello (own or neighbor's). Newer versions push older ones
+  /// out once the history limit is reached.
+  void record(const HelloRecord& hello);
+
+  /// Drops every sender (except the owner) whose newest record is older
+  /// than now - expiry.
+  void expire(double now);
+
+  /// Newest-first version history of `sender`; empty when unknown.
+  [[nodiscard]] std::vector<topology::VersionedPosition> history(
+      NodeId sender) const;
+
+  /// Newest record of `sender`, if any.
+  [[nodiscard]] std::optional<topology::VersionedPosition> latest(
+      NodeId sender) const;
+
+  /// Record of `sender` with exactly the given version, if stored.
+  [[nodiscard]] std::optional<topology::VersionedPosition> at_version(
+      NodeId sender, std::uint64_t version) const;
+
+  /// Ids of known 1-hop neighbors (excludes the owner), unsorted.
+  [[nodiscard]] std::vector<NodeId> neighbors() const;
+
+  [[nodiscard]] std::size_t neighbor_count() const noexcept {
+    return entries_.size() - (entries_.contains(owner_) ? 1 : 0);
+  }
+
+ private:
+  NodeId owner_;
+  std::size_t history_limit_;
+  double expiry_;
+  // Newest-first per sender.
+  std::unordered_map<NodeId, std::vector<topology::VersionedPosition>> entries_;
+};
+
+}  // namespace mstc::core

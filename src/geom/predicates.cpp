@@ -1,0 +1,52 @@
+#include "geom/predicates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace mstc::geom {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double angle_difference(double a, double b) noexcept {
+  double diff = std::fmod(std::abs(a - b), kTwoPi);
+  if (diff > std::numbers::pi) diff = kTwoPi - diff;
+  return diff;
+}
+
+double cone_angle(Vec2 apex, Vec2 a, Vec2 b) noexcept {
+  return angle_difference(polar_angle(a - apex), polar_angle(b - apex));
+}
+
+int yao_sector(Vec2 center, Vec2 p, int sectors) noexcept {
+  double angle = polar_angle(p - center);
+  if (angle < 0.0) angle += kTwoPi;
+  const double width = kTwoPi / sectors;
+  int sector = static_cast<int>(angle / width);
+  return std::min(sector, sectors - 1);  // guard angle == 2*pi edge case
+}
+
+double max_angular_gap(Vec2 apex, const Vec2* neighbors, int count) noexcept {
+  if (count < 1) return kTwoPi;
+  std::vector<double> angles;
+  angles.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    angles.push_back(polar_angle(neighbors[i] - apex));
+  }
+  std::sort(angles.begin(), angles.end());
+  double max_gap = angles.front() + kTwoPi - angles.back();
+  for (std::size_t i = 1; i < angles.size(); ++i) {
+    max_gap = std::max(max_gap, angles[i] - angles[i - 1]);
+  }
+  return max_gap;
+}
+
+bool cone_coverage_complete(Vec2 apex, const Vec2* neighbors, int count,
+                            double max_gap) noexcept {
+  return max_angular_gap(apex, neighbors, count) <= max_gap;
+}
+
+}  // namespace mstc::geom

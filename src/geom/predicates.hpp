@@ -1,0 +1,53 @@
+// Geometric predicates used by topology-control protocols.
+//
+// These encode the proximity-graph membership tests: the RNG "lune", the
+// Gabriel disk, and the cone coverage used by Yao/CBTC protocols.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace mstc::geom {
+
+/// True when `w` lies strictly inside the RNG lune of (u, v): the
+/// intersection of the open disks of radius |uv| centered at u and at v.
+/// An edge (u, v) belongs to the relative neighborhood graph iff no witness
+/// node lies in its lune (Toussaint 1980).
+[[nodiscard]] inline bool in_rng_lune(Vec2 u, Vec2 v, Vec2 w) noexcept {
+  const double uv = distance_sq(u, v);
+  return distance_sq(u, w) < uv && distance_sq(v, w) < uv;
+}
+
+/// True when `w` lies strictly inside the Gabriel disk of (u, v): the open
+/// disk with diameter uv. The Gabriel graph is the subgraph of edges with
+/// empty disks; it is a supergraph of the RNG.
+[[nodiscard]] inline bool in_gabriel_disk(Vec2 u, Vec2 v, Vec2 w) noexcept {
+  const Vec2 center = midpoint(u, v);
+  return distance_sq(center, w) < 0.25 * distance_sq(u, v);
+}
+
+/// Smallest absolute angular difference between two angles, in [0, pi].
+[[nodiscard]] double angle_difference(double a, double b) noexcept;
+
+/// Angle of the cone at apex `apex` spanned from direction to `a` to
+/// direction to `b`, in [0, pi].
+[[nodiscard]] double cone_angle(Vec2 apex, Vec2 a, Vec2 b) noexcept;
+
+/// Yao-graph sector index of point `p` around `center` when the plane is
+/// divided into `sectors` equal cones starting at angle 0.
+[[nodiscard]] int yao_sector(Vec2 center, Vec2 p, int sectors) noexcept;
+
+/// True if the directions from `apex` to the given neighbor points leave no
+/// angular gap larger than `max_gap` radians (the CBTC termination test:
+/// every cone of angle max_gap contains a neighbor). With zero or one
+/// neighbor the gap is the full circle.
+[[nodiscard]] bool cone_coverage_complete(Vec2 apex,
+                                          const Vec2* neighbors,
+                                          int count,
+                                          double max_gap) noexcept;
+
+/// Largest angular gap (radians, in [0, 2*pi]) between consecutive neighbor
+/// directions around `apex`; 2*pi when fewer than one neighbor.
+[[nodiscard]] double max_angular_gap(Vec2 apex, const Vec2* neighbors,
+                                     int count) noexcept;
+
+}  // namespace mstc::geom

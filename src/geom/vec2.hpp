@@ -1,0 +1,76 @@
+// 2-D vector type used for node positions and velocities.
+#pragma once
+
+#include <cmath>
+
+namespace mstc::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2& operator+=(Vec2 other) noexcept {
+    x += other.x;
+    y += other.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 other) noexcept {
+    x -= other.x;
+    y -= other.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double scale) noexcept {
+    x *= scale;
+    y *= scale;
+    return *this;
+  }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return a += b; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return a -= b; }
+  friend constexpr Vec2 operator*(Vec2 v, double s) noexcept { return v *= s; }
+  friend constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v *= s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  [[nodiscard]] constexpr double dot(Vec2 other) const noexcept {
+    return x * other.x + y * other.y;
+  }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  [[nodiscard]] constexpr double cross(Vec2 other) const noexcept {
+    return x * other.y - y * other.x;
+  }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return dot(*this); }
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction; zero vector maps to (0, 0).
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_sq();
+}
+
+/// Midpoint of segment ab.
+[[nodiscard]] constexpr Vec2 midpoint(Vec2 a, Vec2 b) noexcept {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Linear interpolation: a at t = 0, b at t = 1.
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Polar angle of v in (-pi, pi]; angle of the zero vector is 0.
+[[nodiscard]] inline double polar_angle(Vec2 v) noexcept {
+  return (v.x == 0.0 && v.y == 0.0) ? 0.0 : std::atan2(v.y, v.x);
+}
+
+}  // namespace mstc::geom

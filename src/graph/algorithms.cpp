@@ -1,0 +1,217 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "graph/union_find.hpp"
+
+namespace mstc::graph {
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  constexpr std::size_t kUnlabeled = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> label(g.node_count(), kUnlabeled);
+  std::size_t next_label = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (label[start] != kUnlabeled) continue;
+    label[start] = next_label;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Edge& e : g.neighbors(u)) {
+        if (label[e.to] == kUnlabeled) {
+          label[e.to] = next_label;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() < 2) return true;
+  const auto label = connected_components(g);
+  return std::all_of(label.begin(), label.end(),
+                     [](std::size_t l) { return l == 0; });
+}
+
+double pair_connectivity_ratio(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return 1.0;
+  const auto label = connected_components(g);
+  const std::size_t component_total =
+      1 + *std::max_element(label.begin(), label.end());
+  std::vector<std::size_t> size(component_total, 0);
+  for (std::size_t l : label) ++size[l];
+  std::size_t connected_pairs = 0;
+  for (std::size_t s : size) connected_pairs += s * (s - 1);
+  return static_cast<double>(connected_pairs) /
+         static_cast<double>(n * (n - 1));
+}
+
+std::vector<NodeId> reachable_from(const Graph& g, NodeId source) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> order;
+  seen[source] = true;
+  order.push_back(source);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (const Edge& e : g.neighbors(order[i])) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        order.push_back(e.to);
+      }
+    }
+  }
+  return order;
+}
+
+namespace {
+
+/// Connectivity of g restricted to nodes where blocked[v] == 0.
+bool connected_without(const Graph& g, const std::vector<char>& blocked) {
+  const std::size_t n = g.node_count();
+  NodeId start = n;
+  std::size_t active = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!blocked[u]) {
+      ++active;
+      if (start == n) start = u;
+    }
+  }
+  if (active <= 1) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<NodeId> stack{start};
+  seen[start] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const Edge& e : g.neighbors(u)) {
+      if (!seen[e.to] && !blocked[e.to]) {
+        seen[e.to] = 1;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == active;
+}
+
+}  // namespace
+
+bool is_k_connected(const Graph& g, std::size_t k) {
+  assert(k >= 1 && k <= 3 && "brute-force check supports k in 1..3");
+  const std::size_t n = g.node_count();
+  if (n <= k) {
+    // Convention: tiny graphs are k-connected iff complete.
+    for (NodeId u = 0; u < n; ++u) {
+      if (g.degree(u) < n - 1) return false;
+    }
+    return true;
+  }
+  std::vector<char> blocked(n, 0);
+  if (!connected_without(g, blocked)) return false;
+  if (k == 1) return true;
+  for (NodeId a = 0; a < n; ++a) {
+    blocked[a] = 1;
+    if (!connected_without(g, blocked)) return false;
+    if (k == 3) {
+      for (NodeId b = a + 1; b < n; ++b) {
+        blocked[b] = 1;
+        if (!connected_without(g, blocked)) return false;
+        blocked[b] = 0;
+      }
+    }
+    blocked[a] = 0;
+  }
+  return true;
+}
+
+std::size_t min_degree(const Graph& g) {
+  std::size_t smallest = static_cast<std::size_t>(-1);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    smallest = std::min(smallest, g.degree(u));
+  }
+  return g.node_count() == 0 ? 0 : smallest;
+}
+
+std::vector<NodeId> prim_mst_parents(const Graph& g, NodeId root) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> parent(n);
+  for (NodeId u = 0; u < n; ++u) parent[u] = u;
+  if (n == 0) return parent;
+
+  std::vector<double> best(n, kUnreachable);
+  std::vector<bool> in_tree(n, false);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  // Seed every component so a forest is produced on disconnected input.
+  for (NodeId seed = 0; seed < n; ++seed) {
+    const NodeId start = (seed == 0) ? root : seed;
+    if (in_tree[start] || best[start] < kUnreachable) continue;
+    best[start] = 0.0;
+    heap.emplace(0.0, start);
+    while (!heap.empty()) {
+      const auto [cost, u] = heap.top();
+      heap.pop();
+      if (in_tree[u] || cost > best[u]) continue;
+      in_tree[u] = true;
+      for (const Edge& e : g.neighbors(u)) {
+        if (!in_tree[e.to] && e.weight < best[e.to]) {
+          best[e.to] = e.weight;
+          parent[e.to] = u;
+          heap.emplace(e.weight, e.to);
+        }
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<EdgeRecord> kruskal_mst(std::size_t node_count,
+                                    std::vector<EdgeRecord> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeRecord& a, const EdgeRecord& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  UnionFind forest(node_count);
+  std::vector<EdgeRecord> tree;
+  tree.reserve(node_count > 0 ? node_count - 1 : 0);
+  for (const EdgeRecord& e : edges) {
+    if (forest.unite(e.u, e.v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source) {
+  const std::size_t n = g.node_count();
+  ShortestPaths result{std::vector<double>(n, kUnreachable),
+                       std::vector<NodeId>(n)};
+  for (NodeId u = 0; u < n; ++u) result.parent[u] = u;
+  result.distance[source] = 0.0;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > result.distance[u]) continue;
+    for (const Edge& e : g.neighbors(u)) {
+      const double candidate = dist + e.weight;
+      if (candidate < result.distance[e.to]) {
+        result.distance[e.to] = candidate;
+        result.parent[e.to] = u;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mstc::graph

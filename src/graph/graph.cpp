@@ -1,0 +1,41 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace mstc::graph {
+
+void Graph::add_edge(NodeId u, NodeId v, double weight) {
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  ++edge_count_;
+}
+
+void Graph::add_arc(NodeId u, NodeId v, double weight) {
+  adjacency_[u].push_back({v, weight});
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto& list = adjacency_[u];
+  return std::any_of(list.begin(), list.end(),
+                     [v](const Edge& e) { return e.to == v; });
+}
+
+std::vector<EdgeRecord> Graph::edges() const {
+  std::vector<EdgeRecord> result;
+  result.reserve(edge_count_);
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    for (const Edge& e : adjacency_[u]) {
+      if (u < e.to) result.push_back({u, e.to, e.weight});
+    }
+  }
+  return result;
+}
+
+double Graph::average_degree() const noexcept {
+  if (adjacency_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& list : adjacency_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(adjacency_.size());
+}
+
+}  // namespace mstc::graph

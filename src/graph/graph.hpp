@@ -1,0 +1,66 @@
+// Weighted undirected graph with adjacency lists.
+//
+// Used for original / logical / effective topologies. Node ids are dense
+// indices [0, node_count); edges carry a double weight (distance or energy
+// cost depending on the protocol's cost model).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mstc::graph {
+
+using NodeId = std::size_t;
+
+struct Edge {
+  NodeId to = 0;
+  double weight = 0.0;
+};
+
+struct EdgeRecord {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 0.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds an undirected edge. Duplicate edges are the caller's concern
+  /// (topology builders never produce them).
+  void add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Adds a directed arc u -> v (used for logical-neighbor digraphs before
+  /// symmetrization).
+  void add_arc(NodeId u, NodeId v, double weight = 1.0);
+
+  [[nodiscard]] std::span<const Edge> neighbors(NodeId u) const noexcept {
+    return adjacency_[u];
+  }
+  [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
+    return adjacency_[u].size();
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// All edges with u < v (undirected view; a directed arc u->v without
+  /// v->u is reported once with its endpoints ordered).
+  [[nodiscard]] std::vector<EdgeRecord> edges() const;
+
+  /// Average degree over all nodes (0 for the empty graph).
+  [[nodiscard]] double average_degree() const noexcept;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace mstc::graph

@@ -1,0 +1,77 @@
+#include "graph/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mstc::graph {
+
+SpatialGrid::SpatialGrid(std::span<const geom::Vec2> positions,
+                         double cell_size)
+    : positions_(positions.begin(), positions.end()),
+      cell_size_(cell_size > 0.0 ? cell_size : 1.0) {
+  if (positions_.empty()) {
+    start_.assign(2, 0);
+    return;
+  }
+  double min_x = positions_[0].x, max_x = positions_[0].x;
+  double min_y = positions_[0].y, max_y = positions_[0].y;
+  for (const auto& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  min_cx_ = static_cast<long>(std::floor(min_x / cell_size_));
+  min_cy_ = static_cast<long>(std::floor(min_y / cell_size_));
+  cols_ = static_cast<long>(std::floor(max_x / cell_size_)) - min_cx_ + 1;
+  rows_ = static_cast<long>(std::floor(max_y / cell_size_)) - min_cy_ + 1;
+
+  const std::size_t cells = static_cast<std::size_t>(cols_ * rows_);
+  std::vector<std::size_t> cell_of(positions_.size());
+  start_.assign(cells + 1, 0);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const long cx = static_cast<long>(std::floor(positions_[i].x / cell_size_));
+    const long cy = static_cast<long>(std::floor(positions_[i].y / cell_size_));
+    cell_of[i] = cell_index(cx, cy);
+    ++start_[cell_of[i] + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) start_[c + 1] += start_[c];
+  order_.resize(positions_.size());
+  std::vector<std::size_t> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    order_[cursor[cell_of[i]]++] = i;
+  }
+}
+
+std::size_t SpatialGrid::cell_index(long cx, long cy) const noexcept {
+  const long col = std::clamp(cx - min_cx_, 0L, cols_ - 1);
+  const long row = std::clamp(cy - min_cy_, 0L, rows_ - 1);
+  return static_cast<std::size_t>(row * cols_ + col);
+}
+
+void SpatialGrid::query(geom::Vec2 center, double radius,
+                        std::vector<std::size_t>& out) const {
+  out.clear();
+  if (positions_.empty()) return;
+  const double r_sq = radius * radius;
+  const long span = static_cast<long>(std::ceil(radius / cell_size_));
+  const long ccx = static_cast<long>(std::floor(center.x / cell_size_));
+  const long ccy = static_cast<long>(std::floor(center.y / cell_size_));
+  const long lo_cx = std::max(ccx - span, min_cx_);
+  const long hi_cx = std::min(ccx + span, min_cx_ + cols_ - 1);
+  const long lo_cy = std::max(ccy - span, min_cy_);
+  const long hi_cy = std::min(ccy + span, min_cy_ + rows_ - 1);
+  for (long cy = lo_cy; cy <= hi_cy; ++cy) {
+    for (long cx = lo_cx; cx <= hi_cx; ++cx) {
+      const std::size_t cell = cell_index(cx, cy);
+      for (std::size_t k = start_[cell]; k < start_[cell + 1]; ++k) {
+        const std::size_t i = order_[k];
+        if (geom::distance_sq(center, positions_[i]) <= r_sq) {
+          out.push_back(i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mstc::graph

@@ -1,0 +1,47 @@
+// Uniform spatial hash grid for fixed-radius neighbor queries.
+//
+// The medium and topology builders repeatedly ask "which nodes are within
+// range r of p?". A cell size equal to the query radius bounds the search
+// to the 3x3 cell neighborhood, turning the O(n^2) scan into O(n + k).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace mstc::graph {
+
+class SpatialGrid {
+ public:
+  /// Builds the grid over `positions` with cells of `cell_size` meters.
+  /// cell_size should be >= the typical query radius for best performance
+  /// (queries with larger radii are still correct, just slower).
+  SpatialGrid(std::span<const geom::Vec2> positions, double cell_size);
+
+  /// Indices of all points within `radius` of `center` (inclusive),
+  /// appended to `out` (cleared first). Self-inclusion is the caller's
+  /// concern: a point at distance 0 is reported.
+  void query(geom::Vec2 center, double radius,
+             std::vector<std::size_t>& out) const;
+
+  [[nodiscard]] std::size_t point_count() const noexcept {
+    return positions_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(long cx, long cy) const noexcept;
+
+  std::vector<geom::Vec2> positions_;
+  double cell_size_;
+  long min_cx_ = 0;
+  long min_cy_ = 0;
+  long cols_ = 1;
+  long rows_ = 1;
+  // CSR layout: points of cell c are order_[start_[c] .. start_[c+1]).
+  std::vector<std::size_t> start_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace mstc::graph

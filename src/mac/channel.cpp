@@ -1,0 +1,111 @@
+#include "mac/channel.hpp"
+
+#include <cassert>
+
+namespace mstc::mac {
+
+ContentionChannel::ContentionChannel(sim::Simulator& simulator,
+                                     const sim::Medium& medium, Config config,
+                                     std::uint64_t seed)
+    : simulator_(simulator), medium_(medium), config_(config), rng_(seed) {
+  assert(config_.bitrate > 0.0);
+  assert(config_.max_attempts >= 1);
+  assert(config_.interference_factor >= 1.0);
+}
+
+void ContentionChannel::transmit(NodeId sender, double range,
+                                 std::size_t bits,
+                                 std::function<void(NodeId)> on_receive,
+                                 std::function<void()> on_drop) {
+  attempt(sender, range, bits, config_.max_attempts, std::move(on_receive),
+          std::move(on_drop));
+}
+
+bool ContentionChannel::channel_busy(geom::Vec2 where, double t) const {
+  for (const Transmission& tx : active_) {
+    if (tx.end <= t) continue;
+    if (tx.start > t) continue;
+    if (geom::distance(where, tx.origin) <= tx.interference_range) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ContentionChannel::prune(double now) {
+  // Retain records briefly past their end: frame-end scoring events need
+  // to see every transmission that overlapped theirs, including ones that
+  // finished earlier.
+  constexpr double kRetention = 0.05;
+  while (!active_.empty() && active_.front().end + kRetention <= now) {
+    active_.pop_front();
+  }
+}
+
+void ContentionChannel::attempt(NodeId sender, double range, std::size_t bits,
+                                int tries_left,
+                                std::function<void(NodeId)> on_receive,
+                                std::function<void()> on_drop) {
+  const double now = simulator_.now();
+  prune(now);
+  const geom::Vec2 origin = medium_.position(sender, now);
+
+  if (channel_busy(origin, now)) {
+    if (tries_left <= 1) {
+      ++frames_dropped_;
+      if (on_drop) simulator_.schedule_in(0.0, std::move(on_drop));
+      return;
+    }
+    // Carrier busy: back off a random number of slots and retry.
+    const double backoff =
+        config_.slot_time *
+        static_cast<double>(
+            1 + rng_.uniform_below(config_.contention_window));
+    simulator_.schedule_in(
+        backoff, [this, sender, range, bits, tries_left,
+                  receive = std::move(on_receive), drop = std::move(on_drop)]() mutable {
+          attempt(sender, range, bits, tries_left - 1, std::move(receive),
+                  std::move(drop));
+        });
+    return;
+  }
+
+  ++frames_sent_;
+  const double duration = static_cast<double>(bits) / config_.bitrate;
+  const Transmission tx{sender,
+                        origin,
+                        range,
+                        range * config_.interference_factor,
+                        now,
+                        now + duration};
+  active_.push_back(tx);
+
+  // Score receptions at frame end: v decodes iff it is in decode range and
+  // no OTHER transmission audible at v overlaps [start, end].
+  simulator_.schedule_in(
+      duration, [this, tx, receive = std::move(on_receive)] {
+        std::vector<NodeId> candidates;
+        medium_.receivers(tx.sender, tx.range, tx.start, candidates);
+        for (NodeId v : candidates) {
+          const geom::Vec2 where = medium_.position(v, tx.start);
+          bool collided = false;
+          for (const Transmission& other : active_) {
+            if (other.sender == tx.sender && other.start == tx.start) continue;
+            if (other.end <= tx.start || other.start >= tx.end) continue;
+            if (geom::distance(where, other.origin) <=
+                other.interference_range) {
+              collided = true;
+              break;
+            }
+          }
+          if (collided) {
+            ++collisions_;
+          } else {
+            ++receptions_;
+            receive(v);
+          }
+        }
+      });
+}
+
+}  // namespace mstc::mac

@@ -1,0 +1,73 @@
+// Cross-run aggregation with confidence intervals.
+//
+// The paper repeats every simulation 20 times and reports each data point
+// with a 95 % confidence interval; RunAggregator collects one RunStats per
+// repetition and yields the per-metric CIs.
+#pragma once
+
+#include "util/stats.hpp"
+
+namespace mstc::metrics {
+
+/// Scalar outcome of one simulation run (means over the run).
+struct RunStats {
+  double delivery_ratio = 0.0;       ///< weak connectivity (flood delivery)
+  double strict_connectivity = 0.0;  ///< snapshot pair connectivity
+  double mean_range = 0.0;
+  double mean_logical_degree = 0.0;
+  double mean_physical_degree = 0.0;
+  /// Control-plane transmissions (Hellos + synchronization forwards) per
+  /// node per simulated second — quantifies Section 4.1's remark that the
+  /// reactive approach "will generate significant traffic".
+  double control_tx_rate = 0.0;
+  /// Fraction of frame receptions destroyed by collisions (0 under the
+  /// ideal MAC).
+  double mac_collision_fraction = 0.0;
+};
+
+class RunAggregator {
+ public:
+  void add(const RunStats& run) {
+    delivery_.add(run.delivery_ratio);
+    strict_.add(run.strict_connectivity);
+    range_.add(run.mean_range);
+    logical_degree_.add(run.mean_logical_degree);
+    physical_degree_.add(run.mean_physical_degree);
+    control_tx_.add(run.control_tx_rate);
+    mac_collisions_.add(run.mac_collision_fraction);
+  }
+
+  [[nodiscard]] std::size_t runs() const noexcept {
+    return delivery_.count();
+  }
+  [[nodiscard]] const util::Summary& delivery() const noexcept {
+    return delivery_;
+  }
+  [[nodiscard]] const util::Summary& strict() const noexcept {
+    return strict_;
+  }
+  [[nodiscard]] const util::Summary& range() const noexcept { return range_; }
+  [[nodiscard]] const util::Summary& logical_degree() const noexcept {
+    return logical_degree_;
+  }
+  [[nodiscard]] const util::Summary& physical_degree() const noexcept {
+    return physical_degree_;
+  }
+  [[nodiscard]] const util::Summary& control_tx() const noexcept {
+    return control_tx_;
+  }
+  [[nodiscard]] const util::Summary& mac_collisions() const noexcept {
+    return mac_collisions_;
+  }
+
+ private:
+  util::Summary delivery_;
+  util::Summary strict_;
+  util::Summary range_;
+  util::Summary logical_degree_;
+  util::Summary physical_degree_;
+  util::Summary control_tx_;
+  util::Summary mac_collisions_;
+};
+
+}  // namespace mstc::metrics

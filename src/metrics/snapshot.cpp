@@ -1,0 +1,46 @@
+#include "metrics/snapshot.hpp"
+
+#include <cassert>
+
+#include "core/effective.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mstc::metrics {
+
+SnapshotStats measure_snapshot(
+    std::span<const core::NodeController> controllers,
+    std::span<const geom::Vec2> positions) {
+  assert(controllers.size() == positions.size());
+  const std::size_t n = controllers.size();
+  SnapshotStats stats;
+  if (n == 0) return stats;
+
+  stats.strict_connectivity = graph::pair_connectivity_ratio(
+      core::effective_snapshot(controllers, positions));
+
+  double range_total = 0.0;
+  std::size_t logical_total = 0;
+  std::size_t physical_total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    const double range = controllers[u].extended_range();
+    range_total += range;
+    for (core::NodeId v : controllers[u].logical_neighbors()) {
+      if (controllers[v].is_logical(controllers[u].id())) ++logical_total;
+    }
+    const double range_sq = range * range;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v != u &&
+          geom::distance_sq(positions[u], positions[v]) <= range_sq) {
+        ++physical_total;
+      }
+    }
+  }
+  stats.mean_range = range_total / static_cast<double>(n);
+  stats.mean_logical_degree =
+      static_cast<double>(logical_total) / static_cast<double>(n);
+  stats.mean_physical_degree =
+      static_cast<double>(physical_total) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace mstc::metrics

@@ -1,0 +1,31 @@
+// Instantaneous ("god's-eye") measurements over a running network.
+//
+// The paper samples its metrics 10 times per simulated second: strict
+// connectivity of the effective topology, average transmission range,
+// logical node degree, and (for the physical-neighbor study, Fig. 8b)
+// the average number of physical neighbors.
+#pragma once
+
+#include <span>
+
+#include "core/controller.hpp"
+#include "geom/vec2.hpp"
+
+namespace mstc::metrics {
+
+struct SnapshotStats {
+  /// Pair-connectivity ratio of the effective topology (strict model).
+  double strict_connectivity = 0.0;
+  /// Mean extended transmission range over nodes (m).
+  double mean_range = 0.0;
+  /// Mean logical degree under the both-ends rule.
+  double mean_logical_degree = 0.0;
+  /// Mean number of nodes inside each node's extended range.
+  double mean_physical_degree = 0.0;
+};
+
+[[nodiscard]] SnapshotStats measure_snapshot(
+    std::span<const core::NodeController> controllers,
+    std::span<const geom::Vec2> positions);
+
+}  // namespace mstc::metrics

@@ -1,0 +1,36 @@
+#include "mobility/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mstc::mobility {
+
+Trace::Trace(std::vector<Leg> legs, double duration)
+    : legs_(std::move(legs)), duration_(duration) {
+  assert(!legs_.empty());
+  assert(legs_.front().start_time == 0.0);
+  for (const Leg& leg : legs_) {
+    max_speed_ = std::max(max_speed_, leg.velocity.norm());
+  }
+}
+
+geom::Vec2 Trace::position(double t) const noexcept {
+  if (legs_.empty()) return {};
+  t = std::clamp(t, 0.0, duration_);
+  // Fast path: reuse or advance the cached cursor.
+  std::size_t i = std::min(cursor_, legs_.size() - 1);
+  if (legs_[i].start_time > t) {
+    // Fall back to binary search for out-of-order queries.
+    const auto it = std::upper_bound(
+        legs_.begin(), legs_.end(), t,
+        [](double value, const Leg& leg) { return value < leg.start_time; });
+    i = static_cast<std::size_t>(it - legs_.begin()) - 1;
+  } else {
+    while (i + 1 < legs_.size() && legs_[i + 1].start_time <= t) ++i;
+  }
+  cursor_ = i;
+  const Leg& leg = legs_[i];
+  return leg.origin + leg.velocity * (t - leg.start_time);
+}
+
+}  // namespace mstc::mobility

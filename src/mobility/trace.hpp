@@ -1,0 +1,65 @@
+// Piecewise-linear mobility traces.
+//
+// A Trace answers position(t) *exactly* for any t in [0, duration]; all
+// simulator components (Hello transmissions, packet receptions, topology
+// snapshots) therefore observe physically consistent node positions. The
+// location staleness the paper studies arises purely from *when* a position
+// was advertised, never from simulator interpolation error.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace mstc::mobility {
+
+/// One constant-velocity leg starting at `start_time` from `origin`.
+struct Leg {
+  double start_time = 0.0;
+  geom::Vec2 origin;
+  geom::Vec2 velocity;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Legs must be sorted by start_time with legs.front().start_time == 0.
+  Trace(std::vector<Leg> legs, double duration);
+
+  /// Exact position at time t; t is clamped to [0, duration].
+  [[nodiscard]] geom::Vec2 position(double t) const noexcept;
+
+  /// Largest leg speed; the adaptive buffer zone uses this bound.
+  [[nodiscard]] double max_speed() const noexcept { return max_speed_; }
+
+  [[nodiscard]] double duration() const noexcept { return duration_; }
+  [[nodiscard]] const std::vector<Leg>& legs() const noexcept { return legs_; }
+
+  /// Upper bound on |position(t1) - position(t0)| for t0 <= t1, from the
+  /// max-speed bound (used by Theorem 5 style reasoning in tests).
+  [[nodiscard]] double displacement_bound(double t0, double t1) const noexcept {
+    return max_speed_ * (t1 - t0);
+  }
+
+ private:
+  std::vector<Leg> legs_;
+  double duration_ = 0.0;
+  double max_speed_ = 0.0;
+  // Hot-path cache: queries arrive in loosely increasing time order, so the
+  // last leg index is usually right. mutable + benign data race is avoided
+  // by copying traces per thread; sweeps never share a Trace across threads.
+  mutable std::size_t cursor_ = 0;
+};
+
+/// Rectangular deployment area [0, width] x [0, height].
+struct Area {
+  double width = 900.0;
+  double height = 900.0;
+
+  [[nodiscard]] bool contains(geom::Vec2 p) const noexcept {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+};
+
+}  // namespace mstc::mobility

@@ -1,0 +1,197 @@
+#include "routing/epidemic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "mobility/models.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::routing {
+
+namespace {
+
+using sim::NodeId;
+
+std::unique_ptr<mobility::MobilityModel> make_mobility(
+    const EpidemicConfig& cfg) {
+  if (cfg.mobility_model == "static") {
+    return std::make_unique<mobility::StaticModel>(cfg.area);
+  }
+  if (cfg.mobility_model == "waypoint") {
+    return mobility::make_paper_waypoint(cfg.area, cfg.average_speed);
+  }
+  if (cfg.mobility_model == "walk") {
+    return std::make_unique<mobility::RandomWalk>(cfg.area, cfg.average_speed,
+                                                  5.0);
+  }
+  if (cfg.mobility_model == "gauss") {
+    return std::make_unique<mobility::GaussMarkov>(cfg.area,
+                                                   cfg.average_speed, 0.8);
+  }
+  throw std::invalid_argument("unknown mobility model: " + cfg.mobility_model);
+}
+
+struct Message {
+  NodeId source = 0;
+  NodeId destination = 0;
+  double injected_at = 0.0;
+  double delivered_at = -1.0;  // < 0: still in flight
+  std::size_t copies = 1;      // replicas in existence (incl. source's)
+};
+
+/// One node's buffer: (message id, hops taken by this copy), FIFO order
+/// for eviction of foreign copies.
+struct Carried {
+  std::size_t message = 0;
+  std::size_t hops = 0;
+};
+
+class EpidemicSim {
+ public:
+  explicit EpidemicSim(const EpidemicConfig& cfg)
+      : cfg_(cfg),
+        traces_(mobility::generate_traces(
+            *make_mobility(cfg), cfg.node_count, cfg.duration,
+            util::derive_seed(cfg.seed, 0xE81D))),
+        medium_(traces_, {}),
+        rng_(util::derive_seed(cfg.seed, 0xC0FFEE)),
+        buffers_(cfg.node_count) {}
+
+  EpidemicResult run() {
+    schedule_beacons();
+    inject_messages();
+    schedule_snapshots();
+    simulator_.run_until(cfg_.duration);
+
+    EpidemicResult result;
+    std::size_t delivered = 0;
+    double copies_total = 0.0;
+    for (const Message& m : messages_) {
+      copies_total += static_cast<double>(m.copies);
+      if (m.delivered_at >= 0.0) {
+        ++delivered;
+        result.delay.add(m.delivered_at - m.injected_at);
+      }
+    }
+    result.delivery_ratio =
+        messages_.empty()
+            ? 0.0
+            : static_cast<double>(delivered) /
+                  static_cast<double>(messages_.size());
+    result.mean_copies_per_message =
+        messages_.empty() ? 0.0
+                          : copies_total /
+                                static_cast<double>(messages_.size());
+    result.snapshot_connectivity = connectivity_.mean();
+    return result;
+  }
+
+ private:
+  void schedule_beacons() {
+    for (NodeId u = 0; u < cfg_.node_count; ++u) {
+      const double jittered =
+          cfg_.beacon_interval * rng_.uniform(0.9, 1.1);
+      beacon_interval_.push_back(jittered);
+      simulator_.schedule_at(rng_.uniform(0.0, jittered),
+                             [this, u] { beacon(u); });
+    }
+  }
+
+  void beacon(NodeId u) {
+    const double now = simulator_.now();
+    // A beacon == a contact opportunity: every node in range pulls the
+    // copies it lacks from u (ideal anti-entropy; the reverse direction
+    // happens on the receiver's own beacon).
+    medium_.receivers(u, cfg_.range, now, contact_buffer_);
+    for (NodeId v : contact_buffer_) transfer(u, v, now);
+    if (now + beacon_interval_[u] <= cfg_.duration) {
+      simulator_.schedule_in(beacon_interval_[u], [this, u] { beacon(u); });
+    }
+  }
+
+  void transfer(NodeId from, NodeId to, double now) {
+    for (const Carried& carried : buffers_[from]) {
+      Message& m = messages_[carried.message];
+      if (m.delivered_at >= 0.0) continue;  // already done: stop spreading
+      if (carried.hops >= cfg_.max_relay_hops &&
+          m.destination != to) {
+        continue;  // relay budget exhausted; only the destination may pull
+      }
+      if (seen_[carried.message][to]) continue;
+      seen_[carried.message][to] = 1;
+      ++m.copies;
+      if (m.destination == to) {
+        m.delivered_at = now;
+        continue;
+      }
+      store(to, {carried.message, carried.hops + 1});
+    }
+  }
+
+  void store(NodeId node, Carried copy) {
+    auto& buffer = buffers_[node];
+    if (cfg_.buffer_limit > 0 && buffer.size() >= cfg_.buffer_limit) {
+      buffer.pop_front();  // evict the oldest copy
+    }
+    buffer.push_back(copy);
+  }
+
+  void inject_messages() {
+    for (std::size_t i = 0; i < cfg_.message_count; ++i) {
+      const double at = rng_.uniform(0.0, cfg_.inject_window);
+      const NodeId source = rng_.uniform_below(cfg_.node_count);
+      NodeId destination = rng_.uniform_below(cfg_.node_count);
+      while (destination == source) {
+        destination = rng_.uniform_below(cfg_.node_count);
+      }
+      simulator_.schedule_at(at, [this, source, destination] {
+        const std::size_t id = messages_.size();
+        messages_.push_back({source, destination, simulator_.now(), -1.0, 1});
+        seen_.emplace_back(cfg_.node_count, 0);
+        seen_[id][source] = 1;
+        store(source, {id, 0});
+      });
+    }
+  }
+
+  void schedule_snapshots() {
+    for (double t = 0.0; t <= cfg_.duration; t += 5.0) {
+      simulator_.schedule_at(t, [this] {
+        graph::Graph g(cfg_.node_count);
+        for (const auto& [u, v] :
+             medium_.links_within(cfg_.range, simulator_.now())) {
+          g.add_edge(u, v);
+        }
+        connectivity_.add(graph::pair_connectivity_ratio(g));
+      });
+    }
+  }
+
+  EpidemicConfig cfg_;
+  std::vector<mobility::Trace> traces_;
+  sim::Medium medium_;
+  sim::Simulator simulator_;
+  util::Xoshiro256 rng_;
+
+  std::vector<double> beacon_interval_;
+  std::vector<std::deque<Carried>> buffers_;
+  std::vector<Message> messages_;
+  std::vector<std::vector<char>> seen_;  // per message: node has a copy
+  std::vector<NodeId> contact_buffer_;
+  util::Summary connectivity_;
+};
+
+}  // namespace
+
+EpidemicResult run_epidemic(const EpidemicConfig& config) {
+  EpidemicSim sim(config);
+  return sim.run();
+}
+
+}  // namespace mstc::routing

@@ -1,0 +1,57 @@
+#include "routing/greedy.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace mstc::routing {
+
+GreedyOutcome greedy_route(const topology::BuiltTopology& topo,
+                           std::span<const geom::Vec2> believed,
+                           std::span<const geom::Vec2> actual,
+                           topology::NodeId source,
+                           topology::NodeId destination, double buffer,
+                           std::size_t ttl) {
+  assert(believed.size() == actual.size());
+  assert(believed.size() == topo.logical_neighbors.size());
+  GreedyOutcome outcome;
+  if (source == destination) {
+    outcome.delivered = true;
+    return outcome;
+  }
+  const geom::Vec2 target = believed[destination];
+  topology::NodeId current = source;
+  for (std::size_t step = 0; step < ttl; ++step) {
+    const double current_metric = geom::distance(believed[current], target);
+    // Closest-to-destination logical neighbor (believed positions).
+    topology::NodeId next = current;
+    double best_metric = current_metric;
+    for (topology::NodeId candidate : topo.logical_neighbors[current]) {
+      const double metric = geom::distance(believed[candidate], target);
+      if (metric < best_metric) {
+        best_metric = metric;
+        next = candidate;
+      }
+    }
+    if (next == current) {
+      outcome.stuck = true;
+      return outcome;
+    }
+    // The transmission succeeds only if the chosen neighbor is actually
+    // still within the (buffered) range right now.
+    const double actual_distance =
+        geom::distance(actual[current], actual[next]);
+    if (actual_distance > topo.range[current] + buffer) {
+      outcome.link_broken = true;
+      return outcome;
+    }
+    ++outcome.hops;
+    if (next == destination) {
+      outcome.delivered = true;
+      return outcome;
+    }
+    current = next;
+  }
+  return outcome;  // TTL exhausted
+}
+
+}  // namespace mstc::routing

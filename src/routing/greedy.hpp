@@ -1,0 +1,44 @@
+// Greedy geographic unicast over a controlled topology.
+//
+// Topology control exists to serve routing ("a normal routing protocol can
+// be used" under mobility-tolerant management, Section 2.2). This module
+// provides the classic position-based router: each hop forwards to the
+// logical neighbor believed closest to the destination. Both failure modes
+// the paper studies surface here too — a *stale* belief picks a neighbor
+// that is no longer reachable, and a thinned topology can leave greedy
+// stuck in a local minimum. Evaluated in bench_ablation_routing.
+#pragma once
+
+#include <span>
+
+#include "topology/builder.hpp"
+
+namespace mstc::routing {
+
+struct GreedyOutcome {
+  bool delivered = false;
+  /// Hops taken (counts successful transmissions; 0 when source == dest).
+  std::size_t hops = 0;
+  /// True when the route failed because no logical neighbor was believed
+  /// closer to the destination (a greedy local minimum).
+  bool stuck = false;
+  /// True when the route failed because the chosen next hop was no longer
+  /// within transmission range (mobility broke the link).
+  bool link_broken = false;
+};
+
+/// Routes greedily from `source` to `destination`.
+///  * `believed`  — the positions nodes act on (possibly stale),
+///  * `actual`    — ground-truth positions governing reachability,
+///  * `buffer`    — buffer-zone width added to each sender's range,
+///  * `ttl`       — hop budget (loop/pathology guard).
+/// Forwarding rule: among the sender's logical neighbors, pick the one
+/// whose believed position is closest to the destination's believed
+/// position; only hops that strictly reduce believed distance are taken.
+[[nodiscard]] GreedyOutcome greedy_route(
+    const topology::BuiltTopology& topo,
+    std::span<const geom::Vec2> believed, std::span<const geom::Vec2> actual,
+    topology::NodeId source, topology::NodeId destination,
+    double buffer = 0.0, std::size_t ttl = 256);
+
+}  // namespace mstc::routing

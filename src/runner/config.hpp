@@ -1,0 +1,83 @@
+// Scenario configuration.
+//
+// Defaults mirror the paper's Section 5.1 setup (100 nodes, 900x900 m^2,
+// 250 m normal range, random waypoint with zero pause, ~1 s jittered Hello
+// interval) with CI-scale duration/rates; see paper_scale() for the exact
+// paper parameters and env_scenario_overrides() for MSTC_* escalation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/consistency.hpp"
+#include "mobility/trace.hpp"
+
+namespace mstc::runner {
+
+struct ScenarioConfig {
+  // --- network ---
+  std::size_t node_count = 100;
+  mobility::Area area{900.0, 900.0};
+  double normal_range = 250.0;
+
+  // --- mobility ---
+  /// "static", "waypoint" (paper), "walk", or "gauss".
+  std::string mobility_model = "waypoint";
+  double average_speed = 10.0;  ///< m/s
+
+  // --- protocol under test ---
+  std::string protocol = "RNG";  ///< see topology::make_protocol
+  core::ConsistencyMode mode = core::ConsistencyMode::kLatest;
+  /// Stored Hello records per sender; 0 = mode default (1 for baselines,
+  /// 3 for weak/proactive).
+  std::size_t history_limit = 0;
+  double buffer_width = 0.0;   ///< buffer zone l (m)
+  bool adaptive_buffer = false;  ///< l = 2 * Delta'' * v (Theorem 5)
+  bool physical_neighbors = false;
+
+  // --- beaconing & MAC ---
+  double hello_interval = 1.0;  ///< mean Hello period (s)
+  double hello_jitter = 0.25;   ///< per-node interval in [1-j, 1+j] * mean
+  double hello_loss = 0.0;      ///< per-reception loss probability
+  /// "ideal" (the paper's collision-free MAC) or "csma" (carrier sensing
+  /// + collision loss; the paper's future-work realistic MAC).
+  std::string mac = "ideal";
+
+  // --- workload & measurement ---
+  double duration = 30.0;       ///< simulated seconds
+  double warmup = 3.0;          ///< no measurements before this time
+  double flood_rate = 4.0;      ///< broadcast floods per second
+  double snapshot_rate = 4.0;   ///< strict-connectivity samples per second
+  double flood_settle = 0.5;    ///< seconds before a flood is scored
+
+  std::uint64_t seed = 1;
+
+  /// Effective per-sender history: explicit value or the mode default
+  /// (weak: k = 2 per Corollary 1's instantaneous-updating bound;
+  /// proactive: 3 so version pinning always finds its record).
+  [[nodiscard]] std::size_t effective_history() const {
+    if (history_limit > 0) return history_limit;
+    switch (mode) {
+      case core::ConsistencyMode::kWeak:
+        return 2;
+      case core::ConsistencyMode::kProactive:
+        return 3;
+      default:
+        return 1;
+    }
+  }
+};
+
+/// The paper's full-scale parameters: 100 s runs, 10 floods/s and
+/// 10 samples/s (Section 5.1). Heavier: ~10x the default runtime.
+[[nodiscard]] ScenarioConfig paper_scale(ScenarioConfig base);
+
+/// Applies MSTC_SIM_TIME / MSTC_NODES / MSTC_FLOOD_RATE /
+/// MSTC_SNAPSHOT_RATE / MSTC_WARMUP env overrides; MSTC_PAPER_SCALE=1
+/// applies paper_scale first.
+[[nodiscard]] ScenarioConfig apply_env_overrides(ScenarioConfig base);
+
+/// Repetition count for sweeps: MSTC_REPEATS env or `fallback`.
+[[nodiscard]] std::size_t sweep_repeats(std::size_t fallback = 5);
+
+}  // namespace mstc::runner

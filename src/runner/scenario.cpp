@@ -1,0 +1,390 @@
+#include "runner/scenario.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "core/effective.hpp"
+#include "mac/channel.hpp"
+#include "metrics/snapshot.hpp"
+#include "mobility/models.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::runner {
+
+namespace {
+
+using core::NodeId;
+
+constexpr double kPropagationDelay = 1e-5;   // seconds
+constexpr double kMinForwardBackoff = 5e-4;  // seconds
+constexpr double kMaxForwardBackoff = 2e-3;  // seconds
+constexpr double kReactiveDecisionWait = 0.1;  // seconds after sync flood
+constexpr double kProactiveSkewFraction = 0.1;
+constexpr std::size_t kHelloBits = 512;   // ~64-byte beacon
+constexpr std::size_t kDataBits = 2048;   // ~256-byte data packet
+constexpr std::size_t kSyncBits = 320;    // ~40-byte initiation frame
+
+std::unique_ptr<mobility::MobilityModel> make_mobility(
+    const ScenarioConfig& cfg) {
+  if (cfg.mobility_model == "static") {
+    return std::make_unique<mobility::StaticModel>(cfg.area);
+  }
+  if (cfg.mobility_model == "waypoint") {
+    return mobility::make_paper_waypoint(cfg.area, cfg.average_speed);
+  }
+  if (cfg.mobility_model == "walk") {
+    return std::make_unique<mobility::RandomWalk>(cfg.area, cfg.average_speed,
+                                                  5.0);
+  }
+  if (cfg.mobility_model == "gauss") {
+    return std::make_unique<mobility::GaussMarkov>(cfg.area,
+                                                   cfg.average_speed, 0.8);
+  }
+  throw std::invalid_argument("unknown mobility model: " + cfg.mobility_model);
+}
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& cfg)
+      : cfg_(cfg),
+        traces_(mobility::generate_traces(
+            *make_mobility(cfg), cfg.node_count, cfg.duration,
+            util::derive_seed(cfg.seed, 0xA11CE))),
+        medium_(traces_, {.propagation_delay = kPropagationDelay}),
+        suite_(topology::make_protocol(cfg.protocol)),
+        beacon_rng_(util::derive_seed(cfg.seed, 0xBEAC0)),
+        traffic_rng_(util::derive_seed(cfg.seed, 0x7AFF1C)),
+        loss_rng_(util::derive_seed(cfg.seed, 0x105535)),
+        backoff_rng_(util::derive_seed(cfg.seed, 0xBACC0FF)) {
+    core::ControllerConfig controller_config;
+    controller_config.normal_range = cfg.normal_range;
+    controller_config.mode = cfg.mode;
+    controller_config.history_limit = cfg.effective_history();
+    controller_config.view_expiry = 2.5 * cfg.hello_interval;
+    controller_config.buffer.width = cfg.buffer_width;
+    if (cfg.adaptive_buffer) {
+      controller_config.buffer.adaptive = true;
+      // Speed bound of the paper's waypoint config: 1.5 * average speed.
+      controller_config.buffer.max_speed = 1.5 * cfg.average_speed;
+      controller_config.buffer.delay_bound = core::delay_bound(
+          cfg.mode, 1.25 * cfg.hello_interval, controller_config.history_limit);
+    }
+    controller_config.accept_physical_neighbors = cfg.physical_neighbors;
+
+    nodes_.reserve(cfg.node_count);
+    for (NodeId u = 0; u < cfg.node_count; ++u) {
+      nodes_.emplace_back(u, *suite_.protocol, *suite_.cost,
+                          controller_config);
+    }
+    last_hello_version_.assign(cfg.node_count, 0);
+
+    if (cfg.mac == "csma") {
+      channel_ = std::make_unique<mac::ContentionChannel>(
+          simulator_, medium_, mac::ContentionChannel::Config{},
+          util::derive_seed(cfg.seed, 0x3AC));
+    } else if (cfg.mac != "ideal") {
+      throw std::invalid_argument("unknown MAC: " + cfg.mac);
+    }
+  }
+
+  metrics::RunStats run() {
+    schedule_beaconing();
+    schedule_floods();
+    schedule_snapshots();
+    simulator_.run_until(cfg_.duration);
+    metrics::RunStats stats;
+    stats.delivery_ratio = delivery_.mean();
+    stats.strict_connectivity = strict_.mean();
+    stats.mean_range = range_.mean();
+    stats.mean_logical_degree = logical_degree_.mean();
+    stats.mean_physical_degree = physical_degree_.mean();
+    stats.control_tx_rate =
+        static_cast<double>(control_transmissions_) /
+        (static_cast<double>(nodes_.size()) * cfg_.duration);
+    if (channel_) {
+      const double total = static_cast<double>(channel_->receptions() +
+                                               channel_->collisions());
+      stats.mac_collision_fraction =
+          total > 0.0 ? static_cast<double>(channel_->collisions()) / total
+                      : 0.0;
+    }
+    return stats;
+  }
+
+ private:
+  // --- beaconing -----------------------------------------------------
+
+  void schedule_beaconing() {
+    switch (cfg_.mode) {
+      case core::ConsistencyMode::kLatest:
+      case core::ConsistencyMode::kViewSync:
+      case core::ConsistencyMode::kWeak:
+        for (NodeId u = 0; u < nodes_.size(); ++u) {
+          const double interval =
+              cfg_.hello_interval *
+              (1.0 + cfg_.hello_jitter * beacon_rng_.uniform(-1.0, 1.0));
+          async_interval_.push_back(interval);
+          simulator_.schedule_at(beacon_rng_.uniform(0.0, interval),
+                                 [this, u] { async_hello(u); });
+        }
+        break;
+      case core::ConsistencyMode::kProactive:
+        for (NodeId u = 0; u < nodes_.size(); ++u) {
+          proactive_skew_.push_back(beacon_rng_.uniform(
+              0.0, kProactiveSkewFraction * cfg_.hello_interval));
+        }
+        schedule_proactive_round(0);
+        break;
+      case core::ConsistencyMode::kReactive:
+        sync_round_seen_.assign(nodes_.size(), 0);
+        schedule_reactive_round(1);  // round numbers start at 1 (0 = unseen)
+        break;
+    }
+  }
+
+  void async_hello(NodeId u) {
+    const double now = simulator_.now();
+    const std::uint64_t version = ++last_hello_version_[u];
+    broadcast_hello(u, version, now);
+    if (now + async_interval_[u] <= cfg_.duration) {
+      simulator_.schedule_in(async_interval_[u], [this, u] { async_hello(u); });
+    }
+  }
+
+  void schedule_proactive_round(std::uint64_t round) {
+    const double base = static_cast<double>(round) * cfg_.hello_interval;
+    if (base > cfg_.duration) return;
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      simulator_.schedule_at(base + proactive_skew_[u], [this, u, round] {
+        last_hello_version_[u] = round;
+        broadcast_hello(u, round, simulator_.now());
+      });
+    }
+    simulator_.schedule_at(base, [this, round] {
+      schedule_proactive_round(round + 1);
+    });
+  }
+
+  void schedule_reactive_round(std::uint64_t round) {
+    const double start = static_cast<double>(round - 1) * cfg_.hello_interval;
+    if (start > cfg_.duration) return;
+    // The initiator (node 0) starts the synchronization flood; every node
+    // sends its Hello on first contact with the round, then decides after
+    // a bounded wait.
+    simulator_.schedule_at(start, [this, round] { sync_contact(0, round); });
+    simulator_.schedule_at(start + kReactiveDecisionWait, [this, round] {
+      for (auto& node : nodes_) {
+        node.refresh_selection_versioned(simulator_.now(), round);
+      }
+    });
+    simulator_.schedule_at(start, [this, round] {
+      schedule_reactive_round(round + 1);
+    });
+  }
+
+  void sync_contact(NodeId u, std::uint64_t round) {
+    if (sync_round_seen_[u] >= round) return;
+    sync_round_seen_[u] = round;
+    const double now = simulator_.now();
+    last_hello_version_[u] = round;
+    broadcast_hello(u, round, now);
+    ++control_transmissions_;  // the separate initiation forward
+    // Forward the initiation (flooding: every node forwards once).
+    if (channel_) {
+      channel_->transmit(u, cfg_.normal_range, kSyncBits,
+                         [this, round](NodeId v) { sync_contact(v, round); });
+      return;
+    }
+    medium_.receivers(u, cfg_.normal_range, now, receiver_buffer_);
+    for (NodeId v : receiver_buffer_) {
+      const double delay = kPropagationDelay +
+                           backoff_rng_.uniform(kMinForwardBackoff,
+                                                kMaxForwardBackoff);
+      simulator_.schedule_in(delay, [this, v, round] {
+        sync_contact(v, round);
+      });
+    }
+  }
+
+  void broadcast_hello(NodeId u, std::uint64_t version, double now) {
+    ++control_transmissions_;
+    const core::HelloRecord hello =
+        nodes_[u].on_hello_send(now, medium_.position(u, now), version);
+    if (channel_) {
+      channel_->transmit(u, cfg_.normal_range, kHelloBits,
+                         [this, hello](NodeId v) {
+                           if (drop_by_loss_injection()) return;
+                           nodes_[v].on_hello_receive(hello,
+                                                      simulator_.now());
+                         });
+      return;
+    }
+    medium_.receivers(u, cfg_.normal_range, now, receiver_buffer_);
+    for (NodeId v : receiver_buffer_) {
+      if (drop_by_loss_injection()) continue;
+      simulator_.schedule_in(kPropagationDelay, [this, v, hello] {
+        nodes_[v].on_hello_receive(hello, simulator_.now());
+      });
+    }
+  }
+
+  /// Independent per-reception Hello loss (failure injection).
+  [[nodiscard]] bool drop_by_loss_injection() {
+    return cfg_.hello_loss > 0.0 && loss_rng_.bernoulli(cfg_.hello_loss);
+  }
+
+  // --- flooding workload ----------------------------------------------
+
+  struct Flood {
+    std::vector<char> received;
+    std::size_t count = 0;
+    std::uint64_t pinned_version = 0;  // proactive routing timestamp
+  };
+
+  void schedule_floods() {
+    if (cfg_.flood_rate <= 0.0) return;
+    const double last_start = cfg_.duration - cfg_.flood_settle;
+    double t = cfg_.warmup;
+    std::size_t index = 0;
+    while (t <= last_start) {
+      simulator_.schedule_at(t, [this, index] { start_flood(index); });
+      simulator_.schedule_at(t + cfg_.flood_settle,
+                             [this, index] { finish_flood(index); });
+      t += 1.0 / cfg_.flood_rate;
+      ++index;
+    }
+    floods_.resize(index);
+  }
+
+  void start_flood(std::size_t index) {
+    Flood& flood = floods_[index];
+    flood.received.assign(nodes_.size(), 0);
+    const NodeId source = traffic_rng_.uniform_below(nodes_.size());
+    flood.received[source] = 1;
+    flood.count = 1;
+    if (cfg_.mode == core::ConsistencyMode::kProactive) {
+      // Packets carry the source's latest decidable timestamp.
+      flood.pinned_version =
+          last_hello_version_[source] > 0 ? last_hello_version_[source] - 1 : 0;
+    }
+    forward_flood(index, source);
+  }
+
+  /// Marks v as having the packet (deduplicated) and lets it forward.
+  void deliver_flood(std::size_t index, NodeId sender, NodeId v) {
+    Flood& flood = floods_[index];
+    // Empty => already scored and released; also dedupe deliveries.
+    if (flood.received.empty() || flood.received[v]) return;
+    // The sender's logical-neighbor list travels in the packet header; a
+    // receiver not in it drops the packet (unless PN-enhanced).
+    if (!nodes_[v].config().accept_physical_neighbors &&
+        !nodes_[sender].is_logical(v)) {
+      return;
+    }
+    flood.received[v] = 1;
+    ++flood.count;
+    forward_flood(index, v);
+  }
+
+  void forward_flood(std::size_t index, NodeId u) {
+    const double now = simulator_.now();
+    Flood& flood = floods_[index];
+    // On-the-fly selection updates at every packet transmission:
+    if (cfg_.mode == core::ConsistencyMode::kViewSync) {
+      nodes_[u].refresh_selection(now);
+    } else if (cfg_.mode == core::ConsistencyMode::kProactive) {
+      nodes_[u].refresh_selection_versioned(now, flood.pinned_version);
+    }
+    if (channel_) {
+      channel_->transmit(u, nodes_[u].extended_range(), kDataBits,
+                         [this, index, u](NodeId v) {
+                           deliver_flood(index, u, v);
+                         });
+      return;
+    }
+    medium_.receivers(u, nodes_[u].extended_range(), now, receiver_buffer_);
+    forward_targets_.clear();
+    for (NodeId v : receiver_buffer_) {
+      if (!flood.received[v]) forward_targets_.push_back(v);
+    }
+    for (NodeId v : forward_targets_) {
+      const double delay = kPropagationDelay +
+                           backoff_rng_.uniform(kMinForwardBackoff,
+                                                kMaxForwardBackoff);
+      simulator_.schedule_in(
+          delay, [this, index, u, v] { deliver_flood(index, u, v); });
+    }
+  }
+
+  void finish_flood(std::size_t index) {
+    if (nodes_.size() < 2) return;
+    const double others = static_cast<double>(nodes_.size() - 1);
+    delivery_.add(static_cast<double>(floods_[index].count - 1) / others);
+    floods_[index].received.clear();
+    floods_[index].received.shrink_to_fit();
+  }
+
+  // --- snapshots -------------------------------------------------------
+
+  void schedule_snapshots() {
+    if (cfg_.snapshot_rate <= 0.0) return;
+    for (double t = cfg_.warmup; t <= cfg_.duration;
+         t += 1.0 / cfg_.snapshot_rate) {
+      simulator_.schedule_at(t, [this] { take_snapshot(); });
+    }
+  }
+
+  void take_snapshot() {
+    medium_.positions(simulator_.now(), position_buffer_);
+    const auto stats = metrics::measure_snapshot(nodes_, position_buffer_);
+    strict_.add(stats.strict_connectivity);
+    range_.add(stats.mean_range);
+    logical_degree_.add(stats.mean_logical_degree);
+    physical_degree_.add(stats.mean_physical_degree);
+  }
+
+  // --- state -----------------------------------------------------------
+
+  ScenarioConfig cfg_;
+  std::vector<mobility::Trace> traces_;
+  sim::Medium medium_;
+  sim::Simulator simulator_;
+  topology::ProtocolSuite suite_;
+  std::vector<core::NodeController> nodes_;
+  std::unique_ptr<mac::ContentionChannel> channel_;  // null under ideal MAC
+
+  std::vector<double> async_interval_;
+  std::vector<double> proactive_skew_;
+  std::vector<std::uint64_t> sync_round_seen_;
+  std::vector<std::uint64_t> last_hello_version_;
+  std::uint64_t control_transmissions_ = 0;
+
+  util::Xoshiro256 beacon_rng_;
+  util::Xoshiro256 traffic_rng_;
+  util::Xoshiro256 loss_rng_;
+  util::Xoshiro256 backoff_rng_;
+
+  std::vector<Flood> floods_;
+  std::vector<NodeId> receiver_buffer_;
+  std::vector<NodeId> forward_targets_;
+  std::vector<geom::Vec2> position_buffer_;
+
+  util::Summary delivery_;
+  util::Summary strict_;
+  util::Summary range_;
+  util::Summary logical_degree_;
+  util::Summary physical_degree_;
+};
+
+}  // namespace
+
+metrics::RunStats run_scenario(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  return scenario.run();
+}
+
+}  // namespace mstc::runner

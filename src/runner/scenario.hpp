@@ -1,0 +1,19 @@
+// One end-to-end simulation run.
+//
+// Wires the substrates together exactly as the paper's Section 5.1
+// describes: mobility traces drive an ideal-MAC medium; every node beacons
+// asynchronous (or synchronized, per consistency mode) Hellos at the normal
+// range and runs its NodeController; a flooding application measures weak
+// connectivity; periodic snapshots measure strict connectivity, ranges and
+// degrees.
+#pragma once
+
+#include "metrics/aggregate.hpp"
+#include "runner/config.hpp"
+
+namespace mstc::runner {
+
+/// Runs one scenario to completion; deterministic in (config, config.seed).
+[[nodiscard]] metrics::RunStats run_scenario(const ScenarioConfig& config);
+
+}  // namespace mstc::runner

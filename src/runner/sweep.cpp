@@ -1,0 +1,32 @@
+#include "runner/sweep.hpp"
+
+#include "runner/scenario.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mstc::runner {
+
+std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats) {
+  const std::size_t total = configs.size() * repeats;
+  std::vector<metrics::RunStats> results(total);
+  util::parallel_for(util::global_pool(), total, [&](std::size_t task) {
+    const std::size_t config_index = task / repeats;
+    const std::size_t replication = task % repeats;
+    ScenarioConfig cfg = configs[config_index];
+    cfg.seed = util::derive_seed(cfg.seed, replication + 1);
+    results[task] = run_scenario(cfg);
+  });
+  std::vector<metrics::RunAggregator> aggregated(configs.size());
+  for (std::size_t task = 0; task < total; ++task) {
+    aggregated[task / repeats].add(results[task]);
+  }
+  return aggregated;
+}
+
+metrics::RunAggregator run_repeated(const ScenarioConfig& base,
+                                    std::size_t repeats) {
+  return run_batch({base}, repeats).front();
+}
+
+}  // namespace mstc::runner

@@ -1,0 +1,27 @@
+// Repeated runs and parameter sweeps.
+//
+// Each configuration is repeated with derived seeds (the paper: 20 repeats,
+// 95 % CIs) across the global thread pool; results are bit-identical to a
+// serial execution because replication r always writes slot r.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "metrics/aggregate.hpp"
+#include "runner/config.hpp"
+
+namespace mstc::runner {
+
+/// Runs `repeats` replications of `base` (seeds derived from base.seed) in
+/// parallel and aggregates the per-run means.
+[[nodiscard]] metrics::RunAggregator run_repeated(const ScenarioConfig& base,
+                                                  std::size_t repeats);
+
+/// Runs a whole batch of independent configurations, each repeated
+/// `repeats` times, parallelizing over (configuration x replication).
+/// Result i aggregates configs[i]'s replications.
+[[nodiscard]] std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats);
+
+}  // namespace mstc::runner

@@ -1,0 +1,48 @@
+#include "sim/medium.hpp"
+
+#include <cassert>
+
+namespace mstc::sim {
+
+Medium::Medium(std::span<const mobility::Trace> traces, Config config)
+    : traces_(traces), config_(config) {
+  assert(config_.propagation_delay >= 0.0);
+}
+
+void Medium::receivers(NodeId sender, double range, double t,
+                       std::vector<NodeId>& out) const {
+  out.clear();
+  const geom::Vec2 origin = position(sender, t);
+  const double range_sq = range * range;
+  for (NodeId node = 0; node < traces_.size(); ++node) {
+    if (node == sender) continue;
+    if (geom::distance_sq(origin, position(node, t)) <= range_sq) {
+      out.push_back(node);
+    }
+  }
+}
+
+void Medium::positions(double t, std::vector<geom::Vec2>& out) const {
+  out.resize(traces_.size());
+  for (NodeId node = 0; node < traces_.size(); ++node) {
+    out[node] = position(node, t);
+  }
+}
+
+std::vector<std::pair<NodeId, NodeId>> Medium::links_within(double range,
+                                                            double t) const {
+  std::vector<std::pair<NodeId, NodeId>> links;
+  std::vector<geom::Vec2> pos;
+  positions(t, pos);
+  const double range_sq = range * range;
+  for (NodeId u = 0; u < pos.size(); ++u) {
+    for (NodeId v = u + 1; v < pos.size(); ++v) {
+      if (geom::distance_sq(pos[u], pos[v]) <= range_sq) {
+        links.emplace_back(u, v);
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace mstc::sim

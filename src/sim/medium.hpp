@@ -1,0 +1,66 @@
+// Ideal wireless medium.
+//
+// The paper's simulations "use an ideal MAC layer without collision and
+// contention": a transmission from u with range r at time t is received by
+// exactly the nodes within Euclidean distance r of u's position at t, after
+// a fixed propagation delay. Loss injection, when wanted, is applied by the
+// caller (it owns the RNG streams); the medium itself is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "mobility/trace.hpp"
+
+namespace mstc::sim {
+
+using NodeId = std::size_t;
+
+class Medium {
+ public:
+  struct Config {
+    double propagation_delay = 1e-6;  ///< seconds; >= 0
+  };
+
+  /// The medium aliases `traces`; the owner must outlive it.
+  Medium(std::span<const mobility::Trace> traces, Config config);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] double propagation_delay() const noexcept {
+    return config_.propagation_delay;
+  }
+
+  /// Ground-truth position of a node at time t.
+  [[nodiscard]] geom::Vec2 position(NodeId node, double t) const noexcept {
+    return traces_[node].position(t);
+  }
+
+  /// Ground-truth distance between two nodes at time t.
+  [[nodiscard]] double distance(NodeId a, NodeId b, double t) const noexcept {
+    return geom::distance(position(a, t), position(b, t));
+  }
+
+  /// Nodes other than `sender` within `range` (inclusive) of the sender's
+  /// position at time `t`, written into `out` (cleared first).
+  void receivers(NodeId sender, double range, double t,
+                 std::vector<NodeId>& out) const;
+
+  /// All positions at time t (for snapshot metrics).
+  void positions(double t, std::vector<geom::Vec2>& out) const;
+
+  /// Ground-truth graph of links with length <= range at time t: the
+  /// paper's "original topology" under the normal transmission range when
+  /// range = normal range.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> links_within(
+      double range, double t) const;
+
+ private:
+  std::span<const mobility::Trace> traces_;
+  Config config_;
+};
+
+}  // namespace mstc::sim

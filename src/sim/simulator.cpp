@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mstc::sim {
+
+void Simulator::schedule_at(Time at, Handler handler) {
+  assert(at >= now_ && "cannot schedule in the past");
+  queue_.push(Event{at, next_sequence_++, std::move(handler)});
+}
+
+void Simulator::run_until(Time end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    // priority_queue::top() is const; the handler must be moved out before
+    // pop, and executing after pop keeps reentrant scheduling safe.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.handler();
+  }
+  now_ = end;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.handler();
+  }
+}
+
+}  // namespace mstc::sim

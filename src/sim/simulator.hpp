@@ -1,0 +1,64 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic engine: events are (time, sequence, closure)
+// triples ordered by time with FIFO tie-breaking, so runs are exactly
+// reproducible. This is the ns-2 substitute described in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mstc::sim {
+
+using Time = double;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `handler` at absolute time `at` (must be >= now()).
+  void schedule_at(Time at, Handler handler);
+
+  /// Schedules `handler` after `delay` seconds (must be >= 0).
+  void schedule_in(Time delay, Handler handler) {
+    schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Runs events until the queue empties or the next event is later than
+  /// `end`; the clock finishes at exactly `end`.
+  void run_until(Time end);
+
+  /// Runs until the queue is empty.
+  void run_all();
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t processed_events() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t sequence;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mstc::sim

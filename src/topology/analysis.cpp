@@ -1,0 +1,68 @@
+#include "topology/analysis.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace mstc::topology {
+
+StretchReport stretch_ratio(const graph::Graph& original,
+                            const graph::Graph& logical) {
+  StretchReport report;
+  const std::size_t n = original.node_count();
+  if (n != logical.node_count() || n < 2) return report;
+  double stretch_sum = 0.0;
+  std::size_t pair_count = 0;
+  for (graph::NodeId source = 0; source < n; ++source) {
+    const auto base = graph::dijkstra(original, source);
+    const auto thin = graph::dijkstra(logical, source);
+    for (graph::NodeId target = source + 1; target < n; ++target) {
+      if (base.distance[target] == graph::kUnreachable) continue;
+      if (thin.distance[target] == graph::kUnreachable) {
+        ++report.broken_pairs;
+        continue;
+      }
+      const double ratio = base.distance[target] > 0.0
+                               ? thin.distance[target] / base.distance[target]
+                               : 1.0;
+      report.max_stretch = std::max(report.max_stretch, ratio);
+      stretch_sum += ratio;
+      ++pair_count;
+    }
+  }
+  if (pair_count > 0) {
+    report.mean_stretch = stretch_sum / static_cast<double>(pair_count);
+  }
+  return report;
+}
+
+std::size_t link_interference(std::span<const geom::Vec2> positions,
+                              graph::NodeId u, graph::NodeId v) {
+  const double radius_sq = geom::distance_sq(positions[u], positions[v]);
+  std::size_t disturbed = 0;
+  for (graph::NodeId w = 0; w < positions.size(); ++w) {
+    if (w == u || w == v) continue;
+    if (geom::distance_sq(positions[u], positions[w]) <= radius_sq ||
+        geom::distance_sq(positions[v], positions[w]) <= radius_sq) {
+      ++disturbed;
+    }
+  }
+  return disturbed;
+}
+
+InterferenceReport interference(std::span<const geom::Vec2> positions,
+                                const graph::Graph& topology) {
+  InterferenceReport report;
+  double total = 0.0;
+  std::size_t links = 0;
+  for (const auto& edge : topology.edges()) {
+    const std::size_t value = link_interference(positions, edge.u, edge.v);
+    report.max_interference = std::max(report.max_interference, value);
+    total += static_cast<double>(value);
+    ++links;
+  }
+  if (links > 0) report.mean_interference = total / static_cast<double>(links);
+  return report;
+}
+
+}  // namespace mstc::topology

@@ -1,0 +1,18 @@
+#include "topology/cost.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mstc::topology {
+
+double EnergyCost::cost(double distance) const {
+  return std::pow(distance, alpha_) + overhead_;
+}
+
+std::string EnergyCost::name() const {
+  std::ostringstream out;
+  out << "energy(alpha=" << alpha_ << ")";
+  return out.str();
+}
+
+}  // namespace mstc::topology

@@ -1,0 +1,89 @@
+// Search-region minimum-energy protocol.
+//
+// Every removal this protocol performs satisfies link-removal condition 2
+// (a strictly cheaper multi-hop path exists in the view), so Theorem 1's
+// connectivity guarantee — and the whole mobility-sensitive machinery —
+// applies unchanged. That is precisely what the paper's Section 6 asks
+// for: extending the framework to partial-information protocols.
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "topology/protocol.hpp"
+
+namespace mstc::topology {
+
+SearchRegionSptProtocol::SearchRegionSptProtocol(std::string display_name,
+                                                 double initial_fraction)
+    : display_name_(std::move(display_name)),
+      initial_fraction_(initial_fraction) {
+  assert(initial_fraction_ > 0.0 && initial_fraction_ <= 1.0);
+}
+
+std::vector<std::size_t> SearchRegionSptProtocol::select(
+    const ViewGraph& view) const {
+  const std::size_t n = view.node_count();
+  if (n <= 1) return {};
+
+  double max_distance = 0.0;
+  for (std::size_t v = 1; v < n; ++v) {
+    max_distance = std::max(max_distance, view.distance_max(0, v));
+  }
+
+  // Grow the search radius until every outside neighbor has a certainly
+  // cheaper 2-hop relay through an inside neighbor.
+  double radius = initial_fraction_ * max_distance;
+  std::vector<char> inside(n, 0);
+  for (int growth = 0; growth < 16; ++growth) {
+    for (std::size_t v = 1; v < n; ++v) {
+      inside[v] = view.distance_max(0, v) <= radius;
+    }
+    bool covered = true;
+    for (std::size_t v = 1; v < n && covered; ++v) {
+      if (inside[v]) continue;
+      bool relayed = false;
+      for (std::size_t w = 1; w < n && !relayed; ++w) {
+        if (!inside[w] || !view.has_link(w, v)) continue;
+        relayed = view.cost_max(0, w).value + view.cost_max(w, v).value <
+                  view.cost_min(0, v).value;
+      }
+      covered = relayed;
+    }
+    if (covered || radius >= max_distance) break;
+    radius = std::min(2.0 * radius, max_distance);
+  }
+
+  // SPT children of the owner within the region (Dijkstra over inside
+  // nodes only, pessimistic costs; direct link masked per target as in
+  // SptProtocol).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> logical;
+  std::vector<double> dist(n);
+  using Item = std::pair<double, std::size_t>;
+  for (std::size_t v = 1; v < n; ++v) {
+    if (!inside[v]) continue;
+    const double direct = view.cost_min(0, v).value;
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[0] = 0.0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, 0);
+    while (!heap.empty()) {
+      const auto [d, a] = heap.top();
+      heap.pop();
+      if (d > dist[a] || d >= direct) continue;
+      for (std::size_t b = 1; b < n; ++b) {
+        if (b == a || !inside[b] || !view.has_link(a, b)) continue;
+        if (a == 0 && b == v) continue;
+        const double candidate = d + view.cost_max(a, b).value;
+        if (candidate < dist[b]) {
+          dist[b] = candidate;
+          heap.emplace(candidate, b);
+        }
+      }
+    }
+    if (!(direct > dist[v])) logical.push_back(v);
+  }
+  return logical;
+}
+
+}  // namespace mstc::topology

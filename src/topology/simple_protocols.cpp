@@ -1,0 +1,106 @@
+// K-Neigh baseline and the no-control protocol, plus the factory.
+#include <algorithm>
+#include <cassert>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "topology/protocol.hpp"
+
+namespace mstc::topology {
+
+KNeighProtocol::KNeighProtocol(int k) : k_(k) {
+  assert(k_ >= 1);
+  std::ostringstream name;
+  name << "KNeigh-" << k_;
+  display_name_ = name.str();
+}
+
+std::vector<std::size_t> KNeighProtocol::select(const ViewGraph& view) const {
+  std::vector<std::size_t> order;
+  for (std::size_t v = 1; v < view.node_count(); ++v) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return view.cost_min(0, a) < view.cost_min(0, b);
+  });
+  if (order.size() > static_cast<std::size_t>(k_)) {
+    order.resize(static_cast<std::size_t>(k_));
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> NoneProtocol::select(const ViewGraph& view) const {
+  std::vector<std::size_t> all;
+  for (std::size_t v = 1; v < view.node_count(); ++v) all.push_back(v);
+  return all;
+}
+
+ProtocolSuite make_protocol(std::string_view name) {
+  if (name == "RNG") {
+    return {std::make_unique<RngProtocol>(), std::make_unique<DistanceCost>()};
+  }
+  if (name == "MST") {
+    return {std::make_unique<LmstProtocol>(), std::make_unique<DistanceCost>()};
+  }
+  if (name == "SPT-2") {
+    return {std::make_unique<SptProtocol>("SPT-2"),
+            std::make_unique<EnergyCost>(2.0)};
+  }
+  if (name == "SPT-4") {
+    return {std::make_unique<SptProtocol>("SPT-4"),
+            std::make_unique<EnergyCost>(4.0)};
+  }
+  if (name == "Gabriel") {
+    return {std::make_unique<GabrielProtocol>(),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "Yao") {
+    return {std::make_unique<YaoProtocol>(6), std::make_unique<DistanceCost>()};
+  }
+  if (name == "CBTC") {
+    // rho = 2*pi/3: the threshold under which the *symmetric* subgraph of
+    // the cone-based construction stays connected (Li-Halpern et al.),
+    // matching this library's both-ends logical-link rule.
+    return {std::make_unique<CbtcProtocol>(2.0 * std::numbers::pi / 3.0),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "KNeigh") {
+    return {std::make_unique<KNeighProtocol>(9),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "SPT-R") {
+    // Search-region minimum energy, free-space exponent (Section 6's
+    // partial-information extension target).
+    return {std::make_unique<SearchRegionSptProtocol>("SPT-R"),
+            std::make_unique<EnergyCost>(2.0)};
+  }
+  if (name == "Yao2") {
+    // Fault-tolerant: two neighbors per cone (2-connectivity-oriented).
+    return {std::make_unique<KYaoProtocol>(6, 2),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "Yao3") {
+    return {std::make_unique<KYaoProtocol>(6, 3),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "CBTC2") {
+    // Bahramgiri et al.: rho <= 2*pi/(3k) gives k-connectivity; k = 2.
+    return {std::make_unique<CbtcProtocol>(std::numbers::pi / 3.0),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "CBTC3") {
+    return {std::make_unique<CbtcProtocol>(2.0 * std::numbers::pi / 9.0),
+            std::make_unique<DistanceCost>()};
+  }
+  if (name == "None") {
+    return {std::make_unique<NoneProtocol>(), std::make_unique<DistanceCost>()};
+  }
+  throw std::invalid_argument("unknown protocol: " + std::string(name));
+}
+
+std::vector<std::string> protocol_names() {
+  return {"MST",    "RNG",  "SPT-4", "SPT-2", "SPT-R", "Gabriel", "Yao",
+          "CBTC", "KNeigh", "Yao2",  "Yao3",  "CBTC2", "CBTC3",   "None"};
+}
+
+}  // namespace mstc::topology

@@ -1,0 +1,51 @@
+// Minimum-energy / SPT protocol (link-removal condition 2).
+//
+// Remove (u, v) when a multi-hop path (u, w1, ..., wk, v) exists with
+// c(u,v) > c(u,w1) + ... + c(wk,v). With energy cost d^alpha this is
+// Rodoplu-Meng / Li-Halpern minimum-energy neighbor selection restricted
+// to 1-hop information: keeping exactly the root's children in the local
+// shortest-path tree. Interval views use cost_max on path links and
+// cost_min on the direct link (enhanced condition 2).
+#include <limits>
+#include <queue>
+
+#include "topology/protocol.hpp"
+
+namespace mstc::topology {
+
+std::vector<std::size_t> SptProtocol::select(const ViewGraph& view) const {
+  std::vector<std::size_t> logical;
+  const std::size_t n = view.node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n);
+  using Item = std::pair<double, std::size_t>;
+
+  for (std::size_t v = 1; v < n; ++v) {
+    const double direct = view.cost_min(0, v).value;
+    // Dijkstra from the owner with the direct link (0, v) masked, so any
+    // path found to v has at least one intermediate hop.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[0] = 0.0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, 0);
+    while (!heap.empty()) {
+      const auto [d, a] = heap.top();
+      heap.pop();
+      if (d > dist[a] || d >= direct) continue;  // can't beat direct anymore
+      for (std::size_t b = 1; b < n; ++b) {
+        if (b == a || !view.has_link(a, b)) continue;
+        if (a == 0 && b == v) continue;  // masked direct link
+        const double candidate = d + view.cost_max(a, b).value;
+        if (candidate < dist[b]) {
+          dist[b] = candidate;
+          heap.emplace(candidate, b);
+        }
+      }
+    }
+    // Strict inequality: equal-cost detours keep the link (conservative).
+    if (!(direct > dist[v])) logical.push_back(v);
+  }
+  return logical;
+}
+
+}  // namespace mstc::topology

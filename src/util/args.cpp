@@ -1,0 +1,71 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace mstc::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      options_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself an option;
+    // otherwise a bare switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return options_.contains(name);
+}
+
+std::optional<std::string> ArgParser::value(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           std::string fallback) const {
+  return value(name).value_or(std::move(fallback));
+}
+
+double ArgParser::get(const std::string& name, double fallback) const {
+  const auto raw = value(name);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw->c_str(), &end);
+  return (end == raw->c_str() || *end != '\0') ? fallback : parsed;
+}
+
+long ArgParser::get(const std::string& name, long fallback) const {
+  const auto raw = value(name);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw->c_str(), &end, 10);
+  return (end == raw->c_str() || *end != '\0') ? fallback : parsed;
+}
+
+std::vector<std::string> ArgParser::unknown() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : options_) {
+    if (!queried_.contains(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace mstc::util

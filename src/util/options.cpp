@@ -1,0 +1,64 @@
+#include "util/options.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace mstc::util {
+
+std::optional<std::string> env(std::string_view name) {
+  const std::string key(name);
+  const char* value = std::getenv(key.c_str());
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+double env_or(std::string_view name, double fallback) {
+  const auto raw = env(name);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw->c_str(), &end);
+  return (end == raw->c_str() || *end != '\0') ? fallback : parsed;
+}
+
+std::int64_t env_or(std::string_view name, std::int64_t fallback) {
+  const auto raw = env(name);
+  if (!raw) return fallback;
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), parsed);
+  return (ec != std::errc{} || ptr != raw->data() + raw->size()) ? fallback
+                                                                 : parsed;
+}
+
+std::string env_or(std::string_view name, std::string fallback) {
+  return env(name).value_or(std::move(fallback));
+}
+
+bool env_flag(std::string_view name, bool fallback) {
+  const auto raw = env(name);
+  if (!raw) return fallback;
+  return *raw == "1" || *raw == "true" || *raw == "on" || *raw == "yes";
+}
+
+std::vector<double> env_list(std::string_view name,
+                             std::vector<double> fallback) {
+  const auto raw = env(name);
+  if (!raw) return fallback;
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= raw->size()) {
+    std::size_t comma = raw->find(',', start);
+    if (comma == std::string::npos) comma = raw->size();
+    const std::string item = raw->substr(start, comma - start);
+    if (!item.empty()) {
+      char* end = nullptr;
+      const double parsed = std::strtod(item.c_str(), &end);
+      if (end == item.c_str() || *end != '\0') return fallback;
+      values.push_back(parsed);
+    }
+    start = comma + 1;
+  }
+  return values.empty() ? fallback : values;
+}
+
+}  // namespace mstc::util

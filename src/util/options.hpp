@@ -1,0 +1,31 @@
+// Environment-variable and command-line option helpers.
+//
+// Benchmarks default to CI-scale parameters and are promoted to the paper's
+// full parameters through MSTC_* environment variables; env_or centralizes
+// that lookup with type-safe parsing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mstc::util {
+
+/// Raw environment lookup; nullopt when unset or empty.
+[[nodiscard]] std::optional<std::string> env(std::string_view name);
+
+/// Typed environment lookup with a default. Malformed values fall back to
+/// the default (benchmarks should never crash on a typo'd env var, they
+/// should run the documented default).
+[[nodiscard]] double env_or(std::string_view name, double fallback);
+[[nodiscard]] std::int64_t env_or(std::string_view name, std::int64_t fallback);
+[[nodiscard]] std::string env_or(std::string_view name, std::string fallback);
+[[nodiscard]] bool env_flag(std::string_view name, bool fallback = false);
+
+/// Parses "a,b,c" into doubles; returns fallback when unset/malformed.
+[[nodiscard]] std::vector<double> env_list(std::string_view name,
+                                           std::vector<double> fallback);
+
+}  // namespace mstc::util

@@ -1,0 +1,30 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace mstc::util {
+
+double Xoshiro256::exponential(double lambda) noexcept {
+  // Inverse CDF; 1 - uniform() is in (0, 1] so the log argument is nonzero.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Xoshiro256::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on the open unit square.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace mstc::util

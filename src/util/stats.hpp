@@ -1,0 +1,79 @@
+// Streaming summary statistics and confidence intervals.
+//
+// The paper reports every data point with a 95 % confidence interval over
+// 20 simulation repetitions; Summary/ConfidenceInterval provide exactly
+// that (Welford's online algorithm + Student-t quantiles).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mstc::util {
+
+/// Two-sided confidence interval [mean - half_width, mean + half_width].
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lower() && x <= upper();
+  }
+};
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm,
+/// numerically stable for long streams).
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double total() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+
+  /// 95 % Student-t confidence interval on the mean. With fewer than two
+  /// samples the half-width is infinite (nothing is known about spread).
+  [[nodiscard]] ConfidenceInterval ci95() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided 97.5 % Student-t quantile for `dof` degrees of freedom
+/// (i.e. the multiplier for a 95 % CI). Exact table for small dof,
+/// asymptotic 1.96 beyond.
+[[nodiscard]] double t_quantile_975(std::size_t dof) noexcept;
+
+/// Convenience: summary over an existing sample.
+[[nodiscard]] Summary summarize(std::span<const double> sample) noexcept;
+
+/// Sample median (copies and partially sorts). Returns 0 for empty input.
+[[nodiscard]] double median(std::vector<double> sample) noexcept;
+
+}  // namespace mstc::util

@@ -1,0 +1,59 @@
+// Column-formatted result tables.
+//
+// Every benchmark prints its table/figure data through Table so the output
+// is simultaneously human-readable (aligned ASCII) and machine-readable
+// (CSV via to_csv / MSTC_CSV_DIR dumps).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mstc::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Number of digits after the decimal point for double cells (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Appends a row; must contain exactly one cell per column.
+  void add_row(std::vector<Cell> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Aligned ASCII rendering.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV rendering (no quoting needed for our cell contents).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to `<dir>/<name>.csv` when dir is nonempty; used with
+  /// MSTC_CSV_DIR so plots can be regenerated offline.
+  void maybe_write_csv(const std::string& dir, const std::string& name) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+/// Formats "mean ± half_width" for confidence-interval cells.
+[[nodiscard]] std::string format_ci(double mean, double half_width,
+                                    int precision = 3);
+
+}  // namespace mstc::util

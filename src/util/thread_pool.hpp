@@ -1,0 +1,60 @@
+// Fixed-size thread pool and deterministic parallel_for.
+//
+// Parameter sweeps run many independent (config, seed) simulations; the pool
+// spreads them over hardware threads. Work is partitioned statically by
+// index so results land in pre-sized slots — parallel execution is therefore
+// bit-identical to serial execution, which the reproducibility tests assert.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mstc::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the program (simulation code reports errors via results).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and waits for completion.
+/// body must be safe to invoke concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Process-wide pool sized from MSTC_THREADS (default: hardware threads).
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace mstc::util

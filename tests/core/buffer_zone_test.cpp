@@ -1,0 +1,46 @@
+#include "core/buffer_zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hello.hpp"
+
+namespace mstc::core {
+namespace {
+
+TEST(BufferZone, FixedWidth) {
+  const BufferZoneConfig config{.width = 10.0};
+  EXPECT_DOUBLE_EQ(buffer_width(config), 10.0);
+}
+
+TEST(BufferZone, AdaptiveUsesTheorem5Formula) {
+  BufferZoneConfig config;
+  config.adaptive = true;
+  config.delay_bound = 2.5;  // Delta''
+  config.max_speed = 20.0;   // v
+  EXPECT_DOUBLE_EQ(buffer_width(config), 100.0);  // 2 * 2.5 * 20
+}
+
+TEST(BufferZone, AdaptiveRespectsLowerBound) {
+  BufferZoneConfig config;
+  config.adaptive = true;
+  config.width = 500.0;  // floor larger than the formula
+  config.delay_bound = 1.0;
+  config.max_speed = 10.0;
+  EXPECT_DOUBLE_EQ(buffer_width(config), 500.0);
+}
+
+TEST(BufferZone, SafeWidthHelper) {
+  EXPECT_DOUBLE_EQ(safe_buffer_width(2.0, 30.0), 120.0);
+  EXPECT_DOUBLE_EQ(safe_buffer_width(0.0, 30.0), 0.0);
+}
+
+TEST(HelloRecordAccessors, ForwardToVersionedPosition) {
+  const HelloRecord hello{7, {{1.0, 2.0}, 9, 3.5}};
+  EXPECT_EQ(hello.sender, 7u);
+  EXPECT_EQ(hello.position(), (geom::Vec2{1.0, 2.0}));
+  EXPECT_EQ(hello.version(), 9u);
+  EXPECT_DOUBLE_EQ(hello.send_time(), 3.5);
+}
+
+}  // namespace
+}  // namespace mstc::core

@@ -1,0 +1,121 @@
+// Property test of the enhanced link-removal conditions (Section 4.2):
+// a removal decided from interval costs must be CERTAIN — i.e. the same
+// link is removed by the original condition under every combination of the
+// stored position versions. (The converse need not hold; keeping extra
+// links is the intended conservatism.)
+#include <gtest/gtest.h>
+
+#include "core/consistency.hpp"
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::core {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kRange = 250.0;
+constexpr std::size_t kNodes = 6;     // owner + 5 neighbors
+constexpr std::size_t kVersions = 2;  // stored Hellos per node
+
+struct Instance {
+  // positions[node][version]
+  std::array<std::array<Vec2, kVersions>, kNodes> positions;
+};
+
+Instance random_instance(util::Xoshiro256& rng) {
+  Instance instance;
+  for (auto& node : instance.positions) {
+    // Base position within half the range of the origin so every pair is
+    // within the normal range under every version (keeps membership equal
+    // between the weak view and all pinned views).
+    const Vec2 base{rng.uniform(-80.0, 80.0), rng.uniform(-80.0, 80.0)};
+    for (auto& version : node) {
+      version = base + Vec2{rng.uniform(-15.0, 15.0),
+                            rng.uniform(-15.0, 15.0)};
+    }
+  }
+  return instance;
+}
+
+/// Weak (interval) view over both stored versions of every node.
+topology::ViewGraph weak_view(const Instance& instance,
+                              const topology::CostModel& cost) {
+  LocalViewStore store(0, kVersions, 1e9);
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    for (std::size_t version = 0; version < kVersions; ++version) {
+      store.record({node,
+                    {instance.positions[node][version], version + 1,
+                     static_cast<double>(version)}});
+    }
+  }
+  return build_weak_view(store, kRange, cost);
+}
+
+/// Single-version view for one combination (choice[node] selects the
+/// version each node's position is taken from).
+topology::ViewGraph pinned_view(const Instance& instance,
+                                const std::array<std::size_t, kNodes>& choice,
+                                const topology::CostModel& cost) {
+  std::vector<Vec2> positions;
+  std::vector<topology::NodeId> ids;
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    positions.push_back(instance.positions[node][choice[node]]);
+    ids.push_back(node);
+  }
+  return topology::make_consistent_view(positions, ids, 0, kRange, cost);
+}
+
+std::vector<topology::NodeId> kept_ids(const topology::Protocol& protocol,
+                                       const topology::ViewGraph& view) {
+  std::vector<topology::NodeId> kept;
+  for (std::size_t index : protocol.select(view)) {
+    kept.push_back(view.id(index));
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+class ConservativenessTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConservativenessTest, WeakRemovalImpliesRemovalInEveryCombination) {
+  const topology::ProtocolSuite suite = topology::make_protocol(GetParam());
+  util::Xoshiro256 rng(0xC0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Instance instance = random_instance(rng);
+    const auto weak_kept =
+        kept_ids(*suite.protocol, weak_view(instance, *suite.cost));
+
+    // Enumerate all version combinations.
+    for (std::size_t mask = 0; mask < (1u << kNodes); ++mask) {
+      std::array<std::size_t, kNodes> choice{};
+      for (std::size_t node = 0; node < kNodes; ++node) {
+        choice[node] = (mask >> node) & 1u;
+      }
+      const auto pinned_kept = kept_ids(
+          *suite.protocol, pinned_view(instance, choice, *suite.cost));
+      // Everything the pinned view keeps, the weak view must also keep
+      // (equivalently: weak removals are unanimous removals).
+      for (topology::NodeId id : pinned_kept) {
+        EXPECT_TRUE(std::binary_search(weak_kept.begin(), weak_kept.end(),
+                                       id))
+            << GetParam() << " trial " << trial << " mask " << mask
+            << " neighbor " << id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EnhancedConditions, ConservativenessTest,
+                         ::testing::Values("RNG", "MST", "SPT-2", "SPT-4"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace mstc::core

@@ -1,0 +1,110 @@
+#include "geom/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+namespace mstc::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(RngLune, WitnessInsideLune) {
+  // u and v are 10 apart; w equidistant (6) from both lies in the lune.
+  const Vec2 u{0.0, 0.0}, v{10.0, 0.0}, w{5.0, 3.0};
+  ASSERT_LT(distance(u, w), 10.0);
+  ASSERT_LT(distance(v, w), 10.0);
+  EXPECT_TRUE(in_rng_lune(u, v, w));
+}
+
+TEST(RngLune, WitnessOutsideOneDisk) {
+  const Vec2 u{0.0, 0.0}, v{10.0, 0.0};
+  // Close to u but farther than |uv| from v.
+  EXPECT_FALSE(in_rng_lune(u, v, {-1.0, 0.0}));
+}
+
+TEST(RngLune, BoundaryIsExcluded) {
+  // w exactly at distance |uv| from u is NOT in the open lune.
+  const Vec2 u{0.0, 0.0}, v{10.0, 0.0}, w{10.0, 0.0001};
+  EXPECT_FALSE(in_rng_lune(u, v, w));
+}
+
+TEST(GabrielDisk, CenterPointInside) {
+  const Vec2 u{0.0, 0.0}, v{10.0, 0.0};
+  EXPECT_TRUE(in_gabriel_disk(u, v, {5.0, 0.0}));
+  EXPECT_TRUE(in_gabriel_disk(u, v, {5.0, 4.9}));
+  EXPECT_FALSE(in_gabriel_disk(u, v, {5.0, 5.0}));  // on the circle: excluded
+  EXPECT_FALSE(in_gabriel_disk(u, v, {0.0, 1.0}));  // outside the disk
+}
+
+TEST(GabrielDisk, IsSubsetOfRngLune) {
+  // Every point in the Gabriel disk is in the RNG lune (Gabriel ⊆ RNG
+  // witness regions imply RNG ⊆ Gabriel as graphs).
+  const Vec2 u{0.0, 0.0}, v{8.0, 0.0};
+  for (double x = -10.0; x <= 18.0; x += 0.5) {
+    for (double y = -10.0; y <= 10.0; y += 0.5) {
+      const Vec2 w{x, y};
+      if (in_gabriel_disk(u, v, w)) {
+        EXPECT_TRUE(in_rng_lune(u, v, w)) << "at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(AngleDifference, WrapsCorrectly) {
+  EXPECT_NEAR(angle_difference(0.0, kPi / 2), kPi / 2, 1e-12);
+  EXPECT_NEAR(angle_difference(-kPi + 0.1, kPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_difference(3 * kPi, 0.0), kPi, 1e-12);
+}
+
+TEST(ConeAngle, RightAngle) {
+  const Vec2 apex{0.0, 0.0};
+  EXPECT_NEAR(cone_angle(apex, {1.0, 0.0}, {0.0, 1.0}), kPi / 2, 1e-12);
+}
+
+TEST(YaoSector, PartitionsPlane) {
+  const Vec2 c{0.0, 0.0};
+  EXPECT_EQ(yao_sector(c, {1.0, 0.1}, 4), 0);
+  EXPECT_EQ(yao_sector(c, {-0.1, 1.0}, 4), 1);
+  EXPECT_EQ(yao_sector(c, {-1.0, -0.1}, 4), 2);
+  EXPECT_EQ(yao_sector(c, {0.1, -1.0}, 4), 3);
+}
+
+TEST(YaoSector, AllSectorsInRange) {
+  const Vec2 c{0.0, 0.0};
+  for (int k = 1; k <= 12; ++k) {
+    for (double angle = -kPi; angle < kPi; angle += 0.05) {
+      const Vec2 p{std::cos(angle), std::sin(angle)};
+      const int s = yao_sector(c, p, k);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, k);
+    }
+  }
+}
+
+TEST(MaxAngularGap, NoNeighborsIsFullCircle) {
+  EXPECT_DOUBLE_EQ(max_angular_gap({0, 0}, nullptr, 0), 2 * kPi);
+}
+
+TEST(MaxAngularGap, SingleNeighborIsFullCircle) {
+  const Vec2 n{1.0, 0.0};
+  EXPECT_NEAR(max_angular_gap({0, 0}, &n, 1), 2 * kPi, 1e-12);
+}
+
+TEST(MaxAngularGap, FourCardinalNeighbors) {
+  const std::vector<Vec2> n = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  EXPECT_NEAR(max_angular_gap({0, 0}, n.data(), 4), kPi / 2, 1e-12);
+}
+
+TEST(ConeCoverage, DetectsGap) {
+  // Three neighbors clustered in a half-plane leave a gap > pi.
+  const std::vector<Vec2> n = {{1, 0}, {1, 1}, {0, 1}};
+  EXPECT_FALSE(cone_coverage_complete({0, 0}, n.data(), 3, 5 * kPi / 6));
+  // Adding a neighbor behind closes the gap below 5*pi/6.
+  const std::vector<Vec2> n2 = {{1, 0}, {1, 1}, {0, 1}, {-1, -1}};
+  EXPECT_TRUE(cone_coverage_complete({0, 0}, n2.data(), 4, 5 * kPi / 6));
+}
+
+}  // namespace
+}  // namespace mstc::geom

@@ -1,0 +1,56 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mstc::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), 2.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{0.0, 0.0}));
+  const Vec2 unit = (Vec2{0.0, -7.0}).normalized();
+  EXPECT_DOUBLE_EQ(unit.x, 0.0);
+  EXPECT_DOUBLE_EQ(unit.y, -1.0);
+}
+
+TEST(Vec2, MidpointAndLerp) {
+  const Vec2 a{0.0, 0.0}, b{10.0, 20.0};
+  EXPECT_EQ(midpoint(a, b), (Vec2{5.0, 10.0}));
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.25), (Vec2{2.5, 5.0}));
+}
+
+TEST(Vec2, PolarAngle) {
+  EXPECT_DOUBLE_EQ(polar_angle({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(polar_angle({0.0, 1.0}), std::numbers::pi / 2);
+  EXPECT_DOUBLE_EQ(polar_angle({-1.0, 0.0}), std::numbers::pi);
+  EXPECT_DOUBLE_EQ(polar_angle({0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace mstc::geom

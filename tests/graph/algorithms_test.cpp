@@ -1,0 +1,260 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/union_find.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1, 1.0);
+  return g;
+}
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already joined
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  EXPECT_EQ(uf.component_size(1), 3u);
+  EXPECT_EQ(uf.component_size(4), 1u);
+}
+
+TEST(ConnectedComponents, LabelsMatchStructure) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[5], label[0]);
+  EXPECT_NE(label[5], label[3]);
+}
+
+TEST(IsConnected, SmallCases) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));
+  EXPECT_TRUE(is_connected(path_graph(10)));
+}
+
+TEST(PairConnectivityRatio, ConnectedIsOne) {
+  EXPECT_DOUBLE_EQ(pair_connectivity_ratio(path_graph(10)), 1.0);
+}
+
+TEST(PairConnectivityRatio, IsolatedNodesReduceRatio) {
+  // Component sizes 3 and 2 among n=5: (3*2 + 2*1) / (5*4) = 8/20.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_DOUBLE_EQ(pair_connectivity_ratio(g), 0.4);
+}
+
+TEST(PairConnectivityRatio, FullyDisconnectedIsZero) {
+  EXPECT_DOUBLE_EQ(pair_connectivity_ratio(Graph(4)), 0.0);
+}
+
+TEST(PairConnectivityRatio, TrivialGraphsAreOne) {
+  EXPECT_DOUBLE_EQ(pair_connectivity_ratio(Graph(0)), 1.0);
+  EXPECT_DOUBLE_EQ(pair_connectivity_ratio(Graph(1)), 1.0);
+}
+
+TEST(ReachableFrom, ReturnsComponentOfSource) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto reach = reachable_from(g, 0);
+  std::sort(reach.begin(), reach.end());
+  EXPECT_EQ(reach, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(reachable_from(g, 3).size(), 2u);
+}
+
+TEST(PrimMst, MatchesKruskalWeightOnRandomGraphs) {
+  util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_below(30);
+    Graph g(n);
+    std::vector<EdgeRecord> edges;
+    // Random connected-ish graph: a random spanning path + extra edges.
+    for (NodeId u = 0; u + 1 < n; ++u) {
+      const double w = rng.uniform(0.1, 10.0);
+      g.add_edge(u, u + 1, w);
+      edges.push_back({u, u + 1, w});
+    }
+    for (std::size_t extra = 0; extra < n; ++extra) {
+      const NodeId u = rng.uniform_below(n);
+      const NodeId v = rng.uniform_below(n);
+      if (u == v) continue;
+      const double w = rng.uniform(0.1, 10.0);
+      g.add_edge(u, v, w);
+      edges.push_back({std::min(u, v), std::max(u, v), w});
+    }
+    const auto parents = prim_mst_parents(g);
+    double prim_weight = 0.0;
+    std::size_t prim_edges = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (parents[u] == u) continue;
+      ++prim_edges;
+      // Find the minimum weight among parallel edges (u, parent).
+      double best = kUnreachable;
+      for (const Edge& e : g.neighbors(u)) {
+        if (e.to == parents[u]) best = std::min(best, e.weight);
+      }
+      prim_weight += best;
+    }
+    const auto kruskal = kruskal_mst(n, edges);
+    double kruskal_weight = 0.0;
+    for (const auto& e : kruskal) kruskal_weight += e.weight;
+    EXPECT_EQ(prim_edges, kruskal.size());
+    EXPECT_NEAR(prim_weight, kruskal_weight, 1e-9);
+  }
+}
+
+TEST(PrimMst, ForestOnDisconnectedInput) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto parents = prim_mst_parents(g);
+  int roots = 0;
+  for (NodeId u = 0; u < 4; ++u) roots += (parents[u] == u);
+  EXPECT_EQ(roots, 2);
+}
+
+TEST(KruskalMst, SpanningTreeOfTriangle) {
+  const auto tree = kruskal_mst(3, {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}});
+  ASSERT_EQ(tree.size(), 2u);
+  EXPECT_DOUBLE_EQ(tree[0].weight + tree[1].weight, 3.0);
+}
+
+TEST(KruskalMst, DeterministicTieBreaking) {
+  // All weights equal: ties broken by (u, v), so result is reproducible.
+  const auto a = kruskal_mst(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0},
+                                 {0, 3, 1.0}});
+  const auto b = kruskal_mst(4, {{0, 3, 1.0}, {2, 3, 1.0}, {1, 2, 1.0},
+                                 {0, 1, 1.0}});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(KConnectivity, PathGraphIsOnlyOneConnected) {
+  const Graph g = path_graph(6);
+  EXPECT_TRUE(is_k_connected(g, 1));
+  EXPECT_FALSE(is_k_connected(g, 2));
+}
+
+TEST(KConnectivity, CycleIsTwoConnected) {
+  Graph g(6);
+  for (NodeId u = 0; u < 6; ++u) g.add_edge(u, (u + 1) % 6);
+  EXPECT_TRUE(is_k_connected(g, 2));
+  EXPECT_FALSE(is_k_connected(g, 3));
+}
+
+TEST(KConnectivity, CompleteGraphIsThreeConnected) {
+  Graph g(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) g.add_edge(u, v);
+  }
+  EXPECT_TRUE(is_k_connected(g, 3));
+}
+
+TEST(KConnectivity, CutVertexDetected) {
+  // Two triangles sharing vertex 2: connected but not 2-connected.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  EXPECT_TRUE(is_k_connected(g, 1));
+  EXPECT_FALSE(is_k_connected(g, 2));
+}
+
+TEST(KConnectivity, TinyGraphConvention) {
+  Graph pair(2);
+  pair.add_edge(0, 1);
+  EXPECT_TRUE(is_k_connected(pair, 2));  // complete on 2 vertices
+  EXPECT_FALSE(is_k_connected(Graph(2), 2));
+  EXPECT_TRUE(is_k_connected(Graph(1), 1));
+}
+
+TEST(KConnectivity, NeverExceedsMinDegree) {
+  util::Xoshiro256 rng(2211);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 8 + rng.uniform_below(12);
+    Graph g(n);
+    for (std::size_t i = 0; i < 3 * n; ++i) {
+      const NodeId u = rng.uniform_below(n);
+      const NodeId v = rng.uniform_below(n);
+      if (u != v && !g.has_edge(u, v)) g.add_edge(u, v);
+    }
+    for (std::size_t k = 2; k <= 3; ++k) {
+      if (is_k_connected(g, k)) {
+        EXPECT_GE(min_degree(g), k) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MinDegree, Basics) {
+  EXPECT_EQ(min_degree(Graph(0)), 0u);
+  EXPECT_EQ(min_degree(Graph(3)), 0u);
+  EXPECT_EQ(min_degree(path_graph(4)), 1u);
+}
+
+TEST(Dijkstra, ShortestPathOnKnownGraph) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 1.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 2.0);  // via node 1, not the direct edge
+  EXPECT_DOUBLE_EQ(sp.distance[3], 3.0);
+  EXPECT_EQ(sp.distance[4], kUnreachable);
+  EXPECT_EQ(sp.parent[2], 1u);
+  EXPECT_EQ(sp.parent[0], 0u);
+}
+
+TEST(Dijkstra, ParentsFormShortestPathTree) {
+  util::Xoshiro256 rng(123);
+  const std::size_t n = 40;
+  Graph g(n);
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    const NodeId u = rng.uniform_below(n);
+    const NodeId v = rng.uniform_below(n);
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 5.0));
+  }
+  const auto sp = dijkstra(g, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (sp.distance[u] == kUnreachable || u == 0) continue;
+    const NodeId p = sp.parent[u];
+    double edge = kUnreachable;
+    for (const Edge& e : g.neighbors(p)) {
+      if (e.to == u) edge = std::min(edge, e.weight);
+    }
+    EXPECT_NEAR(sp.distance[u], sp.distance[p] + edge, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mstc::graph

@@ -1,0 +1,52 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mstc::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, AddEdgeIsBidirectional) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.degree(0), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 2.5);
+}
+
+TEST(Graph, AddArcIsDirectional) {
+  Graph g(2);
+  g.add_arc(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Graph, EdgesListsUndirectedOnce) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(1, 3, 3.0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, AverageDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  // degrees: 1, 2, 1, 0 -> average 1.0
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+}  // namespace
+}  // namespace mstc::graph

@@ -1,0 +1,94 @@
+#include "graph/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace mstc::graph {
+namespace {
+
+using geom::Vec2;
+
+std::vector<std::size_t> brute_force(const std::vector<Vec2>& points,
+                                     Vec2 center, double radius) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (geom::distance(center, points[i]) <= radius) hits.push_back(i);
+  }
+  return hits;
+}
+
+TEST(SpatialGrid, EmptyPointSet) {
+  const SpatialGrid grid({}, 10.0);
+  std::vector<std::size_t> out{99};
+  grid.query({0, 0}, 100.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialGrid, SinglePoint) {
+  const std::vector<Vec2> points = {{5.0, 5.0}};
+  const SpatialGrid grid(points, 10.0);
+  std::vector<std::size_t> out;
+  grid.query({0.0, 0.0}, 10.0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+  grid.query({0.0, 0.0}, 5.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialGrid, RadiusIsInclusive) {
+  const std::vector<Vec2> points = {{3.0, 4.0}};
+  const SpatialGrid grid(points, 5.0);
+  std::vector<std::size_t> out;
+  grid.query({0.0, 0.0}, 5.0, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SpatialGrid, MatchesBruteForceOnRandomPoints) {
+  util::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec2> points;
+    const std::size_t n = 50 + rng.uniform_below(200);
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+    }
+    const SpatialGrid grid(points, 250.0);
+    std::vector<std::size_t> out;
+    for (int q = 0; q < 20; ++q) {
+      const Vec2 center{rng.uniform(-50.0, 950.0), rng.uniform(-50.0, 950.0)};
+      const double radius = rng.uniform(10.0, 400.0);
+      grid.query(center, radius, out);
+      std::sort(out.begin(), out.end());
+      EXPECT_EQ(out, brute_force(points, center, radius));
+    }
+  }
+}
+
+TEST(SpatialGrid, QueryLargerThanCellSizeStillCorrect) {
+  util::Xoshiro256 rng(56);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const SpatialGrid grid(points, 5.0);  // cells much smaller than query
+  std::vector<std::size_t> out;
+  grid.query({50.0, 50.0}, 80.0, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, brute_force(points, {50.0, 50.0}, 80.0));
+}
+
+TEST(SpatialGrid, NegativeCoordinatesSupported) {
+  const std::vector<Vec2> points = {{-100.0, -100.0}, {100.0, 100.0}};
+  const SpatialGrid grid(points, 50.0);
+  std::vector<std::size_t> out;
+  grid.query({-100.0, -100.0}, 1.0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+}  // namespace
+}  // namespace mstc::graph

@@ -1,0 +1,139 @@
+#include "mac/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mstc::mac {
+namespace {
+
+using geom::Vec2;
+using mobility::Leg;
+using mobility::Trace;
+
+std::vector<Trace> nodes_at(std::initializer_list<double> xs) {
+  std::vector<Trace> traces;
+  for (double x : xs) {
+    traces.push_back(Trace({Leg{0.0, {x, 0.0}, {0.0, 0.0}}}, 100.0));
+  }
+  return traces;
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+};
+
+TEST_F(ChannelTest, SingleTransmissionIsDelivered) {
+  const auto traces = nodes_at({0.0, 50.0, 500.0});
+  const sim::Medium medium(traces, {});
+  ContentionChannel channel(simulator_, medium, {}, 1);
+  std::vector<sim::NodeId> received;
+  channel.transmit(0, 100.0, 512,
+                   [&](sim::NodeId v) { received.push_back(v); });
+  simulator_.run_all();
+  EXPECT_EQ(received, (std::vector<sim::NodeId>{1}));
+  EXPECT_EQ(channel.frames_sent(), 1u);
+  EXPECT_EQ(channel.receptions(), 1u);
+  EXPECT_EQ(channel.collisions(), 0u);
+  EXPECT_EQ(channel.frames_dropped(), 0u);
+}
+
+TEST_F(ChannelTest, HiddenTerminalsCollideAtTheReceiver) {
+  // Senders at 0 and 150 (range 100: they cannot hear each other), victim
+  // at 75 hears both: simultaneous frames destroy each other there.
+  const auto traces = nodes_at({0.0, 75.0, 150.0});
+  const sim::Medium medium(traces, {});
+  ContentionChannel channel(simulator_, medium, {}, 2);
+  int deliveries = 0;
+  simulator_.schedule_at(1.0, [&] {
+    channel.transmit(0, 100.0, 512, [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.schedule_at(1.0, [&] {
+    channel.transmit(2, 100.0, 512, [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.run_all();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(channel.collisions(), 2u);  // node 1 loses both frames
+  EXPECT_EQ(channel.frames_sent(), 2u);
+}
+
+TEST_F(ChannelTest, CarrierSenseDefersAndBothDeliver) {
+  // Senders hear each other: the second defers (backoff) and both frames
+  // are eventually delivered collision-free.
+  const auto traces = nodes_at({0.0, 30.0, 60.0});
+  const sim::Medium medium(traces, {});
+  ContentionChannel::Config config;
+  config.max_attempts = 50;  // plenty of retries: the frame is ~1 ms long
+  ContentionChannel channel(simulator_, medium, config, 3);
+  int deliveries = 0;
+  simulator_.schedule_at(1.0, [&] {
+    channel.transmit(0, 100.0, 2048, [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.schedule_at(1.0 + 1e-6, [&] {
+    channel.transmit(2, 100.0, 2048, [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.run_all();
+  // Each frame reaches the two other nodes.
+  EXPECT_EQ(deliveries, 4);
+  EXPECT_EQ(channel.collisions(), 0u);
+  EXPECT_EQ(channel.frames_dropped(), 0u);
+}
+
+TEST_F(ChannelTest, BackoffExhaustionDrops) {
+  const auto traces = nodes_at({0.0, 30.0});
+  const sim::Medium medium(traces, {});
+  ContentionChannel::Config config;
+  config.max_attempts = 1;  // give up immediately when busy
+  ContentionChannel channel(simulator_, medium, config, 4);
+  bool dropped = false;
+  int deliveries = 0;
+  simulator_.schedule_at(1.0, [&] {
+    channel.transmit(0, 100.0, 200000,  // 100 ms frame keeps channel busy
+                     [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.schedule_at(1.001, [&] {
+    channel.transmit(1, 100.0, 512, [&](sim::NodeId) { ++deliveries; },
+                     [&] { dropped = true; });
+  });
+  simulator_.run_all();
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(channel.frames_dropped(), 1u);
+  EXPECT_EQ(deliveries, 1);  // only the long frame got through
+}
+
+TEST_F(ChannelTest, OutOfRangeHearsNothing) {
+  const auto traces = nodes_at({0.0, 300.0});
+  const sim::Medium medium(traces, {});
+  ContentionChannel channel(simulator_, medium, {}, 5);
+  int deliveries = 0;
+  channel.transmit(0, 100.0, 512, [&](sim::NodeId) { ++deliveries; });
+  simulator_.run_all();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(channel.receptions(), 0u);
+}
+
+TEST_F(ChannelTest, InterferenceFactorExtendsJamRadius) {
+  // Victim at 180 is outside the jammer's decode range (100) but inside
+  // its interference range (100 * 2 = 200): the frame from node 2 dies.
+  const auto traces = nodes_at({0.0, 180.0, 250.0});
+  const sim::Medium medium(traces, {});
+  ContentionChannel::Config config;
+  config.interference_factor = 2.0;
+  ContentionChannel channel(simulator_, medium, config, 6);
+  int deliveries = 0;
+  simulator_.schedule_at(1.0, [&] {
+    channel.transmit(0, 100.0, 2048, [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.schedule_at(1.0, [&] {
+    channel.transmit(2, 100.0, 2048, [&](sim::NodeId) { ++deliveries; });
+  });
+  simulator_.run_all();
+  // Node 1 is jammed for node 2's frame; node 0's frame reaches nobody
+  // (node 1 at 180 > 100). So zero deliveries and one collision.
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(channel.collisions(), 1u);
+}
+
+}  // namespace
+}  // namespace mstc::mac

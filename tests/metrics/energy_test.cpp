@@ -1,0 +1,74 @@
+#include "metrics/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::metrics {
+namespace {
+
+TEST(TransmissionPower, PowerLawPlusOverhead) {
+  const EnergyModel model{.alpha = 2.0, .tx_fixed_power = 1.0,
+                          .amp_scale = 0.01, .rx_power = 0.5};
+  EXPECT_DOUBLE_EQ(transmission_power(model, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(transmission_power(model, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(transmission_power(model, 20.0), 5.0);
+}
+
+TEST(TransmissionPower, AlphaFourGrowsFaster) {
+  const EnergyModel two{.alpha = 2.0};
+  const EnergyModel four{.alpha = 4.0};
+  EXPECT_GT(transmission_power(four, 100.0), transmission_power(two, 100.0));
+}
+
+TEST(EstimateLifetime, EmptyTopologyIsNeutral) {
+  const topology::BuiltTopology topo;
+  const auto report = estimate_lifetime({}, topo, 250.0);
+  EXPECT_DOUBLE_EQ(report.first_death_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_drain_ratio, 1.0);
+}
+
+TEST(EstimateLifetime, ShorterRangesExtendLifetime) {
+  // A 2-node topology with 50 m ranges vs a 250 m normal range.
+  topology::BuiltTopology topo;
+  topo.logical_neighbors = {{1}, {0}};
+  topo.range = {50.0, 50.0};
+  const auto report = estimate_lifetime({}, topo, 250.0);
+  EXPECT_GT(report.first_death_ratio, 1.0);
+  EXPECT_LT(report.mean_drain_ratio, 1.0);
+}
+
+TEST(EstimateLifetime, NoControlIsExactlyNeutral) {
+  topology::BuiltTopology topo;
+  topo.logical_neighbors = {{1}, {0}};
+  topo.range = {250.0, 250.0};
+  const auto report = estimate_lifetime({}, topo, 250.0);
+  EXPECT_NEAR(report.first_death_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(report.mean_drain_ratio, 1.0, 1e-9);
+}
+
+TEST(EstimateLifetime, RealTopologiesGainSeveralFold) {
+  // On the paper's deployment, MST ranges (~80 m) vs 250 m should extend
+  // the first-death lifetime substantially under alpha = 2 amplifier-
+  // dominated budgets.
+  util::Xoshiro256 rng(606);
+  std::vector<geom::Vec2> positions;
+  for (int i = 0; i < 100; ++i) {
+    positions.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+  }
+  const auto suite = topology::make_protocol("MST");
+  const auto topo =
+      topology::build_topology(positions, 250.0, *suite.protocol, *suite.cost);
+  const EnergyModel amplifier_dominated{.alpha = 2.0,
+                                        .tx_fixed_power = 0.1,
+                                        .amp_scale = 1e-3,
+                                        .rx_power = 0.05};
+  const auto report =
+      estimate_lifetime(amplifier_dominated, topo, 250.0);
+  EXPECT_GT(report.first_death_ratio, 2.0);
+  EXPECT_LT(report.mean_drain_ratio, 0.4);
+}
+
+}  // namespace
+}  // namespace mstc::metrics

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "metrics/aggregate.hpp"
+#include "metrics/snapshot.hpp"
+
+namespace mstc::metrics {
+namespace {
+
+using geom::Vec2;
+
+TEST(MeasureSnapshot, EmptyNetwork) {
+  const SnapshotStats stats = measure_snapshot({}, {});
+  EXPECT_DOUBLE_EQ(stats.strict_connectivity, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_range, 0.0);
+}
+
+TEST(MeasureSnapshot, TwoMutualNodes) {
+  const topology::DistanceCost cost;
+  const topology::NoneProtocol none;
+  core::ControllerConfig config;
+  std::vector<core::NodeController> nodes;
+  nodes.emplace_back(0, none, cost, config);
+  nodes.emplace_back(1, none, cost, config);
+  nodes[0].on_hello_receive({1, {{10, 0}, 1, 0.1}}, 0.1);
+  nodes[1].on_hello_receive({0, {{0, 0}, 1, 0.1}}, 0.1);
+  nodes[0].on_hello_send(0.5, {0, 0}, 1);
+  nodes[1].on_hello_send(0.5, {10, 0}, 1);
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}};
+  const auto stats = measure_snapshot(nodes, positions);
+  EXPECT_DOUBLE_EQ(stats.strict_connectivity, 1.0);
+  EXPECT_NEAR(stats.mean_range, 10.0, 1e-6);
+  EXPECT_DOUBLE_EQ(stats.mean_logical_degree, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_physical_degree, 1.0);
+}
+
+TEST(MeasureSnapshot, PhysicalDegreeCountsNonLogicalNodes) {
+  const topology::DistanceCost cost;
+  const topology::KNeighProtocol nearest_one(1);
+  core::ControllerConfig config;
+  std::vector<core::NodeController> nodes;
+  for (core::NodeId u = 0; u < 3; ++u) {
+    nodes.emplace_back(u, nearest_one, cost, config);
+  }
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {12, 0}};
+  for (core::NodeId u = 0; u < 3; ++u) {
+    for (core::NodeId v = 0; v < 3; ++v) {
+      if (u != v) nodes[u].on_hello_receive({v, {positions[v], 1, 0.1}}, 0.1);
+    }
+    nodes[u].on_hello_send(0.5, positions[u], 1);
+  }
+  const auto stats = measure_snapshot(nodes, positions);
+  // Node 0 keeps only node 1 (nearest): its range 10 also covers nobody
+  // else; node 1 keeps node 2 (range 2); node 2 keeps node 1.
+  // Physical degrees: node 0 covers node 1 -> 1; node 1 covers node 2 -> 1;
+  // node 2 covers node 1 -> 1.
+  EXPECT_DOUBLE_EQ(stats.mean_physical_degree, 1.0);
+  // Mutual logical links: only (1,2): degrees 0,1,1.
+  EXPECT_NEAR(stats.mean_logical_degree, 2.0 / 3.0, 1e-12);
+  // Components {0},{1,2}: ratio = 2*1 / (3*2) = 1/3.
+  EXPECT_NEAR(stats.strict_connectivity, 1.0 / 3.0, 1e-12);
+}
+
+TEST(RunAggregatorTest, AggregatesAcrossRuns) {
+  RunAggregator agg;
+  agg.add({.delivery_ratio = 0.8,
+           .strict_connectivity = 0.5,
+           .mean_range = 100.0,
+           .mean_logical_degree = 2.0,
+           .mean_physical_degree = 3.0});
+  agg.add({.delivery_ratio = 0.6,
+           .strict_connectivity = 0.3,
+           .mean_range = 120.0,
+           .mean_logical_degree = 3.0,
+           .mean_physical_degree = 5.0});
+  EXPECT_EQ(agg.runs(), 2u);
+  EXPECT_DOUBLE_EQ(agg.delivery().mean(), 0.7);
+  EXPECT_DOUBLE_EQ(agg.strict().mean(), 0.4);
+  EXPECT_DOUBLE_EQ(agg.range().mean(), 110.0);
+  EXPECT_DOUBLE_EQ(agg.logical_degree().mean(), 2.5);
+  EXPECT_DOUBLE_EQ(agg.physical_degree().mean(), 4.0);
+  // CI is finite with two runs.
+  EXPECT_TRUE(std::isfinite(agg.delivery().ci95().half_width));
+}
+
+}  // namespace
+}  // namespace mstc::metrics

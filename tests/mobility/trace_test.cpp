@@ -1,0 +1,72 @@
+#include "mobility/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mstc::mobility {
+namespace {
+
+using geom::Vec2;
+
+TEST(Trace, SingleStaticLeg) {
+  const Trace trace({Leg{0.0, {5.0, 5.0}, {0.0, 0.0}}}, 10.0);
+  EXPECT_EQ(trace.position(0.0), (Vec2{5.0, 5.0}));
+  EXPECT_EQ(trace.position(7.3), (Vec2{5.0, 5.0}));
+  EXPECT_DOUBLE_EQ(trace.max_speed(), 0.0);
+}
+
+TEST(Trace, LinearMotion) {
+  const Trace trace({Leg{0.0, {0.0, 0.0}, {2.0, 1.0}}}, 10.0);
+  EXPECT_EQ(trace.position(3.0), (Vec2{6.0, 3.0}));
+  EXPECT_DOUBLE_EQ(trace.max_speed(), std::sqrt(5.0));
+}
+
+TEST(Trace, MultiLegSwitchesAtBoundaries) {
+  const Trace trace(
+      {
+          Leg{0.0, {0.0, 0.0}, {1.0, 0.0}},   // reaches (5,0) at t=5
+          Leg{5.0, {5.0, 0.0}, {0.0, 2.0}},   // reaches (5,6) at t=8
+          Leg{8.0, {5.0, 6.0}, {0.0, 0.0}},
+      },
+      12.0);
+  EXPECT_EQ(trace.position(2.0), (Vec2{2.0, 0.0}));
+  EXPECT_EQ(trace.position(5.0), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(trace.position(6.5), (Vec2{5.0, 3.0}));
+  EXPECT_EQ(trace.position(9.0), (Vec2{5.0, 6.0}));
+}
+
+TEST(Trace, ClampsOutsideDuration) {
+  const Trace trace({Leg{0.0, {0.0, 0.0}, {1.0, 0.0}}}, 4.0);
+  EXPECT_EQ(trace.position(-1.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(trace.position(100.0), (Vec2{4.0, 0.0}));
+}
+
+TEST(Trace, OutOfOrderQueriesAreCorrect) {
+  // The internal cursor must not corrupt results when time goes backwards.
+  const Trace trace(
+      {Leg{0.0, {0.0, 0.0}, {1.0, 0.0}}, Leg{5.0, {5.0, 0.0}, {-1.0, 0.0}}},
+      10.0);
+  EXPECT_EQ(trace.position(7.0), (Vec2{3.0, 0.0}));
+  EXPECT_EQ(trace.position(1.0), (Vec2{1.0, 0.0}));
+  EXPECT_EQ(trace.position(9.0), (Vec2{1.0, 0.0}));
+  EXPECT_EQ(trace.position(0.0), (Vec2{0.0, 0.0}));
+}
+
+TEST(Trace, DisplacementBound) {
+  const Trace trace({Leg{0.0, {0.0, 0.0}, {3.0, 4.0}}}, 10.0);
+  EXPECT_DOUBLE_EQ(trace.displacement_bound(2.0, 4.0), 10.0);
+  // Actual displacement never exceeds the bound.
+  const double actual =
+      geom::distance(trace.position(2.0), trace.position(4.0));
+  EXPECT_LE(actual, trace.displacement_bound(2.0, 4.0) + 1e-12);
+}
+
+TEST(Area, Contains) {
+  const Area area{900.0, 600.0};
+  EXPECT_TRUE(area.contains({0.0, 0.0}));
+  EXPECT_TRUE(area.contains({900.0, 600.0}));
+  EXPECT_FALSE(area.contains({-0.1, 10.0}));
+  EXPECT_FALSE(area.contains({10.0, 600.1}));
+}
+
+}  // namespace
+}  // namespace mstc::mobility

@@ -1,0 +1,106 @@
+#include "routing/epidemic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mstc::routing {
+namespace {
+
+EpidemicConfig sparse_config() {
+  EpidemicConfig cfg;
+  cfg.node_count = 30;
+  cfg.range = 100.0;
+  cfg.average_speed = 15.0;
+  cfg.duration = 80.0;
+  cfg.message_count = 30;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Epidemic, DeterministicForSameSeed) {
+  const auto cfg = sparse_config();
+  const auto a = run_epidemic(cfg);
+  const auto b = run_epidemic(cfg);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_DOUBLE_EQ(a.delay.mean(), b.delay.mean());
+  EXPECT_DOUBLE_EQ(a.mean_copies_per_message, b.mean_copies_per_message);
+}
+
+TEST(Epidemic, DeliversAcrossPartitionsViaMovement) {
+  // The substrate is heavily partitioned (snapshot connectivity well below
+  // 1), yet store-carry-forward delivers most messages eventually — the
+  // mobility-assisted model of Section 2.2.
+  const auto result = run_epidemic(sparse_config());
+  EXPECT_LT(result.snapshot_connectivity, 0.8);
+  EXPECT_GT(result.delivery_ratio, 0.7);
+  EXPECT_GT(result.delay.mean(), 0.0) << "delivery is not instantaneous";
+}
+
+TEST(Epidemic, StaticPartitionedNetworkCannotDeliverEverything) {
+  // Without movement, copies can never cross a partition boundary.
+  auto cfg = sparse_config();
+  cfg.mobility_model = "static";
+  const auto result = run_epidemic(cfg);
+  EXPECT_LT(result.delivery_ratio, 0.9);
+}
+
+TEST(Epidemic, FasterMovementShortensDelay) {
+  auto cfg = sparse_config();
+  cfg.average_speed = 5.0;
+  const auto slow = run_epidemic(cfg);
+  cfg.average_speed = 30.0;
+  const auto fast = run_epidemic(cfg);
+  // Mobility is the transport: faster nodes deliver sooner (allow slack
+  // for the stochastic workload by comparing means with margin).
+  EXPECT_LT(fast.delay.mean(), slow.delay.mean() + 1.0);
+  EXPECT_GE(fast.delivery_ratio, slow.delivery_ratio - 0.1);
+}
+
+TEST(Epidemic, DirectOnlyDeliversLessThanEpidemic) {
+  auto cfg = sparse_config();
+  cfg.max_relay_hops = 0;  // source must meet destination itself
+  const auto direct = run_epidemic(cfg);
+  cfg.max_relay_hops = 64;
+  const auto epidemic = run_epidemic(cfg);
+  EXPECT_LE(direct.delivery_ratio, epidemic.delivery_ratio);
+  EXPECT_LT(direct.mean_copies_per_message,
+            epidemic.mean_copies_per_message);
+}
+
+TEST(Epidemic, SingleRelayReducesOverhead) {
+  // Grossglauser-Tse style one-relay forwarding trades delivery/delay for
+  // far fewer copies.
+  auto cfg = sparse_config();
+  cfg.max_relay_hops = 1;
+  const auto one_relay = run_epidemic(cfg);
+  cfg.max_relay_hops = 64;
+  const auto flood = run_epidemic(cfg);
+  EXPECT_LT(one_relay.mean_copies_per_message,
+            flood.mean_copies_per_message);
+}
+
+TEST(Epidemic, BufferLimitCapsStorage) {
+  auto cfg = sparse_config();
+  cfg.buffer_limit = 2;
+  const auto limited = run_epidemic(cfg);
+  cfg.buffer_limit = 0;
+  const auto unlimited = run_epidemic(cfg);
+  EXPECT_LE(limited.delivery_ratio, unlimited.delivery_ratio + 1e-12);
+}
+
+TEST(Epidemic, DenseNetworkDeliversFastAndFully) {
+  auto cfg = sparse_config();
+  cfg.range = 250.0;
+  cfg.node_count = 60;
+  const auto result = run_epidemic(cfg);
+  EXPECT_GT(result.delivery_ratio, 0.95);
+  EXPECT_LT(result.delay.mean(), 10.0);
+}
+
+TEST(Epidemic, UnknownMobilityModelThrows) {
+  auto cfg = sparse_config();
+  cfg.mobility_model = "hovercraft";
+  EXPECT_THROW((void)run_epidemic(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mstc::routing

@@ -1,0 +1,118 @@
+#include "routing/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::routing {
+namespace {
+
+using geom::Vec2;
+using topology::BuiltTopology;
+using topology::NodeId;
+
+BuiltTopology chain_topology(std::size_t n, double range) {
+  BuiltTopology topo;
+  topo.logical_neighbors.resize(n);
+  topo.range.assign(n, range);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u > 0) topo.logical_neighbors[u].push_back(u - 1);
+    if (u + 1 < n) topo.logical_neighbors[u].push_back(u + 1);
+  }
+  return topo;
+}
+
+std::vector<Vec2> line(std::size_t n, double spacing) {
+  std::vector<Vec2> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({spacing * static_cast<double>(i), 0.0});
+  }
+  return positions;
+}
+
+TEST(GreedyRoute, DeliversAlongChain) {
+  const auto topo = chain_topology(5, 10.0);
+  const auto positions = line(5, 10.0);
+  const auto outcome = greedy_route(topo, positions, positions, 0, 4);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.hops, 4u);
+  EXPECT_FALSE(outcome.stuck);
+  EXPECT_FALSE(outcome.link_broken);
+}
+
+TEST(GreedyRoute, SourceEqualsDestination) {
+  const auto topo = chain_topology(3, 10.0);
+  const auto positions = line(3, 10.0);
+  const auto outcome = greedy_route(topo, positions, positions, 1, 1);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.hops, 0u);
+}
+
+TEST(GreedyRoute, StuckAtLocalMinimum) {
+  // Node 1's only logical neighbor is 0 (behind it): greedy from 0 toward
+  // 2 reaches 1 and finds no neighbor closer to the target.
+  BuiltTopology topo;
+  topo.logical_neighbors = {{1}, {0}, {}};
+  topo.range = {10.0, 10.0, 0.0};
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {30, 0}};
+  const auto outcome = greedy_route(topo, positions, positions, 0, 2);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_TRUE(outcome.stuck);
+}
+
+TEST(GreedyRoute, StaleBeliefBreaksLink) {
+  // Node 1 drifted out of node 0's range; node 0 still believes it is at
+  // 10 m and forwards — the transmission fails.
+  const auto topo = chain_topology(3, 10.0);
+  const auto believed = line(3, 10.0);
+  std::vector<Vec2> actual = believed;
+  actual[1] = {25.0, 0.0};
+  const auto outcome = greedy_route(topo, believed, actual, 0, 2);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_TRUE(outcome.link_broken);
+}
+
+TEST(GreedyRoute, BufferZoneRepairsStaleLink) {
+  const auto topo = chain_topology(3, 10.0);
+  const auto believed = line(3, 10.0);
+  std::vector<Vec2> actual = believed;
+  actual[1] = {18.0, 0.0};  // 8 m past the range
+  EXPECT_TRUE(greedy_route(topo, believed, actual, 0, 2, /*buffer=*/10.0)
+                  .delivered);
+  EXPECT_FALSE(
+      greedy_route(topo, believed, actual, 0, 2, /*buffer=*/0.0).delivered);
+}
+
+TEST(GreedyRoute, TtlGuardsAgainstLongRoutes) {
+  const auto topo = chain_topology(10, 10.0);
+  const auto positions = line(10, 10.0);
+  const auto outcome =
+      greedy_route(topo, positions, positions, 0, 9, 0.0, /*ttl=*/3);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_EQ(outcome.hops, 3u);
+}
+
+TEST(GreedyRoute, HighDeliveryOnDenseStaticTopology) {
+  // On a connected static SPT-2 topology, greedy delivers most pairs
+  // (dense graphs rarely have local minima).
+  util::Xoshiro256 rng(4004);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 100; ++i) {
+    positions.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+  }
+  const auto suite = topology::make_protocol("SPT-2");
+  const auto topo =
+      topology::build_topology(positions, 250.0, *suite.protocol, *suite.cost);
+  int delivered = 0;
+  constexpr int kPairs = 200;
+  for (int trial = 0; trial < kPairs; ++trial) {
+    const NodeId s = rng.uniform_below(100);
+    const NodeId d = rng.uniform_below(100);
+    delivered += greedy_route(topo, positions, positions, s, d).delivered;
+  }
+  EXPECT_GT(delivered, kPairs * 3 / 4);
+}
+
+}  // namespace
+}  // namespace mstc::routing

@@ -1,0 +1,91 @@
+#include "sim/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mstc::sim {
+namespace {
+
+using geom::Vec2;
+using mobility::Leg;
+using mobility::Trace;
+
+std::vector<Trace> line_of_nodes(double spacing, std::size_t count) {
+  std::vector<Trace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    traces.push_back(
+        Trace({Leg{0.0, {spacing * static_cast<double>(i), 0.0}, {0, 0}}}, 100.0));
+  }
+  return traces;
+}
+
+TEST(Medium, ReceiversWithinRange) {
+  const auto traces = line_of_nodes(10.0, 5);  // x = 0,10,20,30,40
+  const Medium medium(traces, {});
+  std::vector<NodeId> out;
+  medium.receivers(0, 25.0, 0.0, out);
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 2}));
+  medium.receivers(2, 10.0, 0.0, out);  // inclusive boundary
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(Medium, SenderIsExcluded) {
+  const auto traces = line_of_nodes(10.0, 3);
+  const Medium medium(traces, {});
+  std::vector<NodeId> out;
+  medium.receivers(1, 1000.0, 0.0, out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(std::find(out.begin(), out.end(), NodeId{1}) == out.end());
+}
+
+TEST(Medium, ReceiversTrackMotion) {
+  // Node 1 moves away from node 0 at 5 m/s starting 10 m apart.
+  std::vector<Trace> traces;
+  traces.push_back(Trace({Leg{0.0, {0.0, 0.0}, {0.0, 0.0}}}, 100.0));
+  traces.push_back(Trace({Leg{0.0, {10.0, 0.0}, {5.0, 0.0}}}, 100.0));
+  const Medium medium(traces, {});
+  std::vector<NodeId> out;
+  medium.receivers(0, 20.0, 0.0, out);
+  EXPECT_EQ(out.size(), 1u);
+  medium.receivers(0, 20.0, 2.0, out);  // distance exactly 20: inclusive
+  EXPECT_EQ(out.size(), 1u);
+  medium.receivers(0, 20.0, 3.0, out);  // distance 25: out of range
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Medium, DistanceAndPositionAgree) {
+  const auto traces = line_of_nodes(7.0, 3);
+  const Medium medium(traces, {});
+  EXPECT_DOUBLE_EQ(medium.distance(0, 2, 0.0), 14.0);
+  EXPECT_EQ(medium.position(1, 50.0), (Vec2{7.0, 0.0}));
+}
+
+TEST(Medium, LinksWithinMatchesPairwiseDistances) {
+  const auto traces = line_of_nodes(10.0, 4);  // x = 0,10,20,30
+  const Medium medium(traces, {});
+  const auto links = medium.links_within(10.0, 0.0);
+  // Exactly the consecutive pairs.
+  ASSERT_EQ(links.size(), 3u);
+  for (const auto& [u, v] : links) EXPECT_EQ(v, u + 1);
+}
+
+TEST(Medium, PositionsSnapshot) {
+  const auto traces = line_of_nodes(5.0, 3);
+  const Medium medium(traces, {});
+  std::vector<Vec2> snapshot;
+  medium.positions(0.0, snapshot);
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[2], (Vec2{10.0, 0.0}));
+}
+
+TEST(Medium, ConfigAccessors) {
+  const auto traces = line_of_nodes(5.0, 2);
+  const Medium medium(traces, {.propagation_delay = 1e-4});
+  EXPECT_DOUBLE_EQ(medium.propagation_delay(), 1e-4);
+  EXPECT_EQ(medium.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace mstc::sim

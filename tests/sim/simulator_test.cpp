@@ -1,0 +1,125 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mstc::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  const Simulator simulator;
+  EXPECT_DOUBLE_EQ(simulator.now(), 0.0);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(3.0, [&] { order.push_back(3); });
+  simulator.schedule_at(1.0, [&] { order.push_back(1); });
+  simulator.schedule_at(2.0, [&] { order.push_back(2); });
+  simulator.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.processed_events(), 3u);
+}
+
+TEST(Simulator, SimultaneousEventsAreFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator simulator;
+  double observed = -1.0;
+  simulator.schedule_at(2.5, [&] { observed = simulator.now(); });
+  simulator.run_all();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(1.0, [&] { ++fired; });
+  simulator.schedule_at(2.0, [&] { ++fired; });
+  simulator.schedule_at(3.0, [&] { ++fired; });
+  simulator.run_until(2.0);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.0);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(simulator.now(), 10.0);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator simulator;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) simulator.schedule_in(1.0, tick);
+  };
+  simulator.schedule_at(0.0, tick);
+  simulator.run_all();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(simulator.now(), 4.0);
+}
+
+TEST(Simulator, ScheduleInUsesCurrentTime) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  simulator.schedule_at(2.0, [&] {
+    simulator.schedule_in(1.5, [&] { fired_at = simulator.now(); });
+  });
+  simulator.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator simulator;
+  simulator.run_until(42.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 42.0);
+}
+
+TEST(Simulator, StressRandomScheduleIsMonotone) {
+  // Thousands of events scheduled in random order, some from inside
+  // handlers: observed firing times must be nondecreasing and complete.
+  Simulator simulator;
+  std::uint64_t x = 12345;
+  auto next_rand = [&x] {  // splitmix-style inline generator
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 27);
+  };
+  std::vector<double> observed;
+  int spawned = 0;
+  std::function<void()> handler = [&] {
+    observed.push_back(simulator.now());
+    if (spawned < 2000) {
+      ++spawned;
+      const double delay =
+          static_cast<double>(next_rand() % 1000) / 100.0;
+      simulator.schedule_in(delay, handler);
+    }
+  };
+  for (int i = 0; i < 500; ++i) {
+    simulator.schedule_at(static_cast<double>(next_rand() % 10000) / 10.0,
+                          handler);
+  }
+  simulator.run_all();
+  EXPECT_EQ(observed.size(), 2500u);
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    ASSERT_LE(observed[i - 1], observed[i]) << "at event " << i;
+  }
+  EXPECT_EQ(simulator.processed_events(), 2500u);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace mstc::sim

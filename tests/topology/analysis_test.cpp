@@ -1,0 +1,119 @@
+#include "topology/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::topology {
+namespace {
+
+using geom::Vec2;
+
+TEST(StretchRatio, IdenticalGraphsHaveStretchOne) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto report = stretch_ratio(g, g);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_stretch, 1.0);
+  EXPECT_EQ(report.broken_pairs, 0u);
+}
+
+TEST(StretchRatio, DetourIncreasesStretch) {
+  // Original: triangle with a shortcut 0-2 of length 1.5; logical drops it,
+  // forcing the 2-hop detour of length 2 -> stretch 2/1.5.
+  graph::Graph original(3);
+  original.add_edge(0, 1, 1.0);
+  original.add_edge(1, 2, 1.0);
+  original.add_edge(0, 2, 1.5);
+  graph::Graph logical(3);
+  logical.add_edge(0, 1, 1.0);
+  logical.add_edge(1, 2, 1.0);
+  const auto report = stretch_ratio(original, logical);
+  EXPECT_NEAR(report.max_stretch, 2.0 / 1.5, 1e-12);
+  EXPECT_EQ(report.broken_pairs, 0u);
+}
+
+TEST(StretchRatio, CountsBrokenPairs) {
+  graph::Graph original(3);
+  original.add_edge(0, 1, 1.0);
+  original.add_edge(1, 2, 1.0);
+  const graph::Graph logical(3);  // empty: everything broken
+  const auto report = stretch_ratio(original, logical);
+  EXPECT_EQ(report.broken_pairs, 3u);
+}
+
+TEST(LinkInterference, CountsNodesInBothDisks) {
+  // Link (0, 1) of length 10; nodes at distance <= 10 from either end.
+  const std::vector<Vec2> positions = {
+      {0, 0}, {10, 0}, {5, 0}, {-9, 0}, {19, 0}, {30, 0}};
+  EXPECT_EQ(link_interference(positions, 0, 1), 3u);  // nodes 2, 3, 4
+}
+
+TEST(Interference, ReportOverTopology) {
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {20, 0}, {5, 1}};
+  graph::Graph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  const auto report = interference(positions, g);
+  // (0,1) disturbs {2? d(1,2)=10 <= 10 yes; 3 yes} = node 2 and 3 -> 2.
+  // (1,2) disturbs {0 (d(1,0)=10), 3 (d(1,3)~5.1)} -> 2.
+  EXPECT_EQ(report.max_interference, 2u);
+  EXPECT_DOUBLE_EQ(report.mean_interference, 2.0);
+}
+
+TEST(Interference, TopologyControlReducesInterference) {
+  // Burkhart et al.'s premise checked on random instances: the logical
+  // topology's max interference never exceeds the original graph's.
+  util::Xoshiro256 rng(313);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Vec2> positions;
+    for (int i = 0; i < 60; ++i) {
+      positions.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+    }
+    const auto original = original_graph(positions, 250.0);
+    const auto suite = make_protocol("RNG");
+    const auto topo =
+        build_topology(positions, 250.0, *suite.protocol, *suite.cost);
+    const auto logical = logical_graph(topo, positions);
+    const auto base = interference(positions, original);
+    const auto thin = interference(positions, logical);
+    EXPECT_LE(thin.max_interference, base.max_interference) << trial;
+    EXPECT_LE(thin.mean_interference, base.mean_interference + 1e-9) << trial;
+  }
+}
+
+TEST(StretchRatio, SptBoundsEnergyStretchAtOne) {
+  // The SPT protocol removes a link only when a cheaper energy path
+  // exists, so the *energy-weighted* logical graph preserves all shortest
+  // paths: energy stretch exactly 1 (Rodoplu-Meng's minimum-energy
+  // property, restricted to 1-hop views it holds for the paths the view
+  // can see; globally the mean stays very close to 1).
+  util::Xoshiro256 rng(717);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 60; ++i) {
+    positions.push_back({rng.uniform(0.0, 700.0), rng.uniform(0.0, 700.0)});
+  }
+  const auto suite = make_protocol("SPT-2");
+  const auto topo =
+      build_topology(positions, 250.0, *suite.protocol, *suite.cost);
+  // Energy-weighted graphs: weight = d^2.
+  const auto energy_graph = [&](const graph::Graph& distance_graph) {
+    graph::Graph g(distance_graph.node_count());
+    for (const auto& e : distance_graph.edges()) {
+      g.add_edge(e.u, e.v, e.weight * e.weight);
+    }
+    return g;
+  };
+  const auto original = energy_graph(original_graph(positions, 250.0));
+  const auto logical = energy_graph(logical_graph(topo, positions));
+  const auto report = stretch_ratio(original, logical);
+  EXPECT_EQ(report.broken_pairs, 0u);
+  EXPECT_LT(report.mean_stretch, 1.05);
+}
+
+}  // namespace
+}  // namespace mstc::topology

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "topology/cost.hpp"
+#include "topology/view_graph.hpp"
+
+namespace mstc::topology {
+namespace {
+
+using geom::Vec2;
+
+TEST(CostModel, DistanceCostIsIdentity) {
+  const DistanceCost cost;
+  EXPECT_DOUBLE_EQ(cost.cost(7.5), 7.5);
+  EXPECT_EQ(cost.name(), "distance");
+}
+
+TEST(CostModel, EnergyCostPowerLaw) {
+  const EnergyCost free_space(2.0);
+  EXPECT_DOUBLE_EQ(free_space.cost(3.0), 9.0);
+  const EnergyCost two_ray(4.0, 5.0);
+  EXPECT_DOUBLE_EQ(two_ray.cost(2.0), 21.0);
+  EXPECT_DOUBLE_EQ(two_ray.alpha(), 4.0);
+}
+
+TEST(CostModel, EnergyCostIsMonotone) {
+  const EnergyCost cost(4.0, 10.0);
+  double previous = cost.cost(0.0);
+  for (double d = 0.5; d <= 250.0; d += 0.5) {
+    const double current = cost.cost(d);
+    EXPECT_GT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(CostKey, OrderedByValueFirst) {
+  const CostKey a = CostKey::make(1.0, 5, 9);
+  const CostKey b = CostKey::make(2.0, 0, 1);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(CostKey, TiesBrokenByNodeIds) {
+  const CostKey a = CostKey::make(1.0, 2, 3);
+  const CostKey b = CostKey::make(1.0, 2, 4);
+  const CostKey c = CostKey::make(1.0, 1, 9);
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);  // lower lo id wins
+}
+
+TEST(CostKey, MakeNormalizesEndpointOrder) {
+  EXPECT_EQ(CostKey::make(1.0, 7, 3), CostKey::make(1.0, 3, 7));
+}
+
+TEST(CostKey, DistinctLinksNeverEqual) {
+  // Total order requirement of Theorem 1.
+  const CostKey a = CostKey::make(4.0, 0, 1);
+  const CostKey b = CostKey::make(4.0, 0, 2);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(ViewGraph, OwnerIsIndexZero) {
+  ViewGraph view(42, 2);
+  EXPECT_EQ(view.owner(), 42u);
+  EXPECT_EQ(view.node_count(), 3u);
+  EXPECT_EQ(view.neighbor_count(), 2u);
+}
+
+TEST(ViewGraph, SetLinkIsSymmetric) {
+  ViewGraph view(0, 2);
+  view.set_id(1, 10);
+  view.set_id(2, 20);
+  const CostKey lo = CostKey::make(3.0, 0, 10);
+  const CostKey hi = CostKey::make(5.0, 0, 10);
+  view.set_link(0, 1, 3.0, 5.0, lo, hi);
+  EXPECT_TRUE(view.has_link(0, 1));
+  EXPECT_TRUE(view.has_link(1, 0));
+  EXPECT_FALSE(view.has_link(0, 2));
+  EXPECT_EQ(view.cost_min(1, 0), lo);
+  EXPECT_EQ(view.cost_max(0, 1), hi);
+  EXPECT_DOUBLE_EQ(view.distance_min(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(view.distance_max(0, 1), 5.0);
+}
+
+TEST(MakeConsistentView, SelectsNeighborsWithinRange) {
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {30, 0}, {100, 0}};
+  const std::vector<NodeId> ids = {0, 1, 2, 3};
+  const DistanceCost cost;
+  const ViewGraph view = make_consistent_view(positions, ids, 0, 35.0, cost);
+  EXPECT_EQ(view.owner(), 0u);
+  EXPECT_EQ(view.neighbor_count(), 2u);  // nodes 1 and 2; node 3 out of range
+  EXPECT_EQ(view.id(1), 1u);
+  EXPECT_EQ(view.id(2), 2u);
+}
+
+TEST(MakeConsistentView, NeighborNeighborLinksIncluded) {
+  // Node 1 and node 2 are 20 apart: linked in node 0's view.
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {30, 0}};
+  const std::vector<NodeId> ids = {0, 1, 2};
+  const DistanceCost cost;
+  const ViewGraph view = make_consistent_view(positions, ids, 0, 35.0, cost);
+  EXPECT_TRUE(view.has_link(1, 2));
+  EXPECT_DOUBLE_EQ(view.distance_min(1, 2), 20.0);
+  EXPECT_EQ(view.cost_min(1, 2), CostKey::make(20.0, 1, 2));
+}
+
+TEST(MakeConsistentView, NeighborLinksBeyondRangeExcluded) {
+  // Nodes 1 and 2 are both within range of 0, but 40 apart (> 35).
+  const std::vector<Vec2> positions = {{0, 0}, {-20, 0}, {20, 0}};
+  const std::vector<NodeId> ids = {0, 1, 2};
+  const DistanceCost cost;
+  const ViewGraph view = make_consistent_view(positions, ids, 0, 35.0, cost);
+  EXPECT_EQ(view.neighbor_count(), 2u);
+  EXPECT_TRUE(view.has_link(0, 1));
+  EXPECT_TRUE(view.has_link(0, 2));
+  EXPECT_FALSE(view.has_link(1, 2));
+}
+
+TEST(MakeConsistentView, PointIntervals) {
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}};
+  const std::vector<NodeId> ids = {0, 1};
+  const EnergyCost cost(2.0);
+  const ViewGraph view = make_consistent_view(positions, ids, 0, 35.0, cost);
+  EXPECT_EQ(view.cost_min(0, 1), view.cost_max(0, 1));
+  EXPECT_DOUBLE_EQ(view.cost_min(0, 1).value, 100.0);
+}
+
+}  // namespace
+}  // namespace mstc::topology

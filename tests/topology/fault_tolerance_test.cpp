@@ -1,0 +1,138 @@
+// Fault-tolerant extensions: k-Yao and k-connectivity-oriented CBTC.
+// Related-work claim exercised here (Section 2.2): k-connected topologies
+// REDUCE but do not eliminate mobility-induced partitioning — verified in
+// the ablation bench; these tests cover the structural guarantees.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/builder.hpp"
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::topology {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kNormalRange = 250.0;
+
+std::vector<Vec2> dense_connected_placement(util::Xoshiro256& rng,
+                                            std::size_t n,
+                                            std::size_t required_k) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<Vec2> positions;
+    positions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back({rng.uniform(0.0, 700.0), rng.uniform(0.0, 700.0)});
+    }
+    if (graph::is_k_connected(original_graph(positions, kNormalRange),
+                              required_k)) {
+      return positions;
+    }
+  }
+  ADD_FAILURE() << "could not generate a " << required_k
+                << "-connected placement";
+  return {};
+}
+
+TEST(KYaoProtocolTest, KeepsUpToKPerSector) {
+  const DistanceCost cost;
+  const KYaoProtocol protocol(4, 2);
+  // Five neighbors in the east sector at increasing distance, one north.
+  std::vector<Vec2> positions = {{0, 0}};
+  for (int i = 1; i <= 5; ++i) {
+    positions.push_back({10.0 * i, 1.0});
+  }
+  positions.push_back({-5.0, 30.0});  // angle ~100 degrees: second sector
+  std::vector<NodeId> ids(positions.size());
+  for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  const auto view = make_consistent_view(positions, ids, 0, kNormalRange, cost);
+  const auto kept = protocol.select(view);
+  // Two cheapest easterners (ids 1, 2) + the single northerner (id 6).
+  std::vector<NodeId> kept_ids;
+  for (auto index : kept) kept_ids.push_back(view.id(index));
+  EXPECT_EQ(kept_ids, (std::vector<NodeId>{1, 2, 6}));
+}
+
+TEST(KYaoProtocolTest, SupersetOfPlainYao) {
+  const DistanceCost cost;
+  const YaoProtocol yao(6);
+  const KYaoProtocol kyao(6, 2);
+  util::Xoshiro256 rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec2> positions = {{450.0, 450.0}};
+    for (int i = 0; i < 20; ++i) {
+      positions.push_back(
+          {rng.uniform(250.0, 650.0), rng.uniform(250.0, 650.0)});
+    }
+    std::vector<NodeId> ids(positions.size());
+    for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
+    const auto view =
+        make_consistent_view(positions, ids, 0, kNormalRange, cost);
+    const auto base = yao.select(view);
+    const auto extended = kyao.select(view);
+    for (std::size_t index : base) {
+      EXPECT_TRUE(std::find(extended.begin(), extended.end(), index) !=
+                  extended.end())
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(FaultTolerantFactory, SmallerConesKeepMoreNeighbors) {
+  // CBTC2/CBTC3 shrink the allowed gap, so their neighbor sets are
+  // supersets of plain CBTC's on the same view.
+  util::Xoshiro256 rng(909);
+  const auto cbtc = make_protocol("CBTC");
+  const auto cbtc2 = make_protocol("CBTC2");
+  const auto cbtc3 = make_protocol("CBTC3");
+  std::vector<Vec2> positions = {{450.0, 450.0}};
+  for (int i = 0; i < 25; ++i) {
+    positions.push_back({rng.uniform(250.0, 650.0), rng.uniform(250.0, 650.0)});
+  }
+  std::vector<NodeId> ids(positions.size());
+  for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  const DistanceCost cost;
+  const auto view = make_consistent_view(positions, ids, 0, kNormalRange, cost);
+  const auto base = cbtc.protocol->select(view);
+  const auto k2 = cbtc2.protocol->select(view);
+  const auto k3 = cbtc3.protocol->select(view);
+  EXPECT_LE(base.size(), k2.size());
+  EXPECT_LE(k2.size(), k3.size());
+}
+
+TEST(FaultTolerantProtocols, PreserveConnectivity) {
+  util::Xoshiro256 rng(1001);
+  for (const char* name : {"Yao2", "Yao3", "CBTC2", "CBTC3"}) {
+    const auto suite = make_protocol(name);
+    const auto positions = dense_connected_placement(rng, 70, 1);
+    const auto topo = build_topology(positions, kNormalRange, *suite.protocol,
+                                     *suite.cost);
+    EXPECT_TRUE(graph::is_connected(logical_graph(topo, positions))) << name;
+  }
+}
+
+TEST(FaultTolerantProtocols, ImproveBiconnectivityOdds) {
+  // On 2-connected originals, Yao-6x2 yields a 2-connected logical
+  // topology far more often than plain Yao (the point of redundancy).
+  util::Xoshiro256 rng(2002);
+  int base_biconnected = 0;
+  int redundant_biconnected = 0;
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto positions = dense_connected_placement(rng, 60, 2);
+    for (const bool redundant : {false, true}) {
+      const auto suite = make_protocol(redundant ? "Yao2" : "Yao");
+      const auto topo = build_topology(positions, kNormalRange,
+                                       *suite.protocol, *suite.cost);
+      const bool ok =
+          graph::is_k_connected(logical_graph(topo, positions), 2);
+      (redundant ? redundant_biconnected : base_biconnected) += ok;
+    }
+  }
+  EXPECT_GE(redundant_biconnected, base_biconnected);
+  EXPECT_GT(redundant_biconnected, kTrials / 2);
+}
+
+}  // namespace
+}  // namespace mstc::topology

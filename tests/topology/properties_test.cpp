@@ -1,0 +1,246 @@
+// Randomized property tests of the topology-control guarantees:
+// Theorem 1 instances (consistent views => connected logical topology),
+// protocol inclusion relations, degree bounds, and builder invariants.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/builder.hpp"
+#include "topology/protocol.hpp"
+#include "util/prng.hpp"
+
+namespace mstc::topology {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kNormalRange = 250.0;
+constexpr double kArea = 900.0;
+
+/// Random node placement whose original topology is connected under the
+/// normal range (redraws until connected, like the paper's dense setting).
+std::vector<Vec2> connected_placement(util::Xoshiro256& rng, std::size_t n) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::vector<Vec2> positions;
+    positions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back({rng.uniform(0.0, kArea), rng.uniform(0.0, kArea)});
+    }
+    if (graph::is_connected(original_graph(positions, kNormalRange))) {
+      return positions;
+    }
+  }
+  ADD_FAILURE() << "could not generate a connected placement";
+  return {};
+}
+
+struct ProtocolParam {
+  const char* name;
+  bool guarantees_connectivity;
+};
+
+class TopologyPropertyTest : public ::testing::TestWithParam<ProtocolParam> {};
+
+TEST_P(TopologyPropertyTest, ConsistentViewsPreserveConnectivity) {
+  // Theorem 1: with consistent local views, the logical topology of every
+  // connectivity-preserving protocol is connected whenever the original is.
+  if (!GetParam().guarantees_connectivity) {
+    GTEST_SKIP() << "no connectivity guarantee for " << GetParam().name;
+  }
+  const ProtocolSuite suite = make_protocol(GetParam().name);
+  util::Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 30 + rng.uniform_below(70);
+    const auto positions = connected_placement(rng, n);
+    const BuiltTopology topo =
+        build_topology(positions, kNormalRange, *suite.protocol, *suite.cost);
+    EXPECT_TRUE(graph::is_connected(logical_graph(topo, positions)))
+        << GetParam().name << " trial " << trial << " n=" << n;
+  }
+}
+
+TEST_P(TopologyPropertyTest, LogicalTopologyIsSubgraphOfOriginal) {
+  const ProtocolSuite suite = make_protocol(GetParam().name);
+  util::Xoshiro256 rng(2025);
+  const auto positions = connected_placement(rng, 60);
+  const BuiltTopology topo =
+      build_topology(positions, kNormalRange, *suite.protocol, *suite.cost);
+  const auto original = original_graph(positions, kNormalRange);
+  const auto logical = logical_graph(topo, positions);
+  for (const auto& e : logical.edges()) {
+    EXPECT_TRUE(original.has_edge(e.u, e.v)) << GetParam().name;
+  }
+  EXPECT_LE(logical.edge_count(), original.edge_count());
+}
+
+TEST_P(TopologyPropertyTest, RangeCoversFarthestLogicalNeighbor) {
+  const ProtocolSuite suite = make_protocol(GetParam().name);
+  util::Xoshiro256 rng(2026);
+  const auto positions = connected_placement(rng, 60);
+  const BuiltTopology topo =
+      build_topology(positions, kNormalRange, *suite.protocol, *suite.cost);
+  for (NodeId u = 0; u < positions.size(); ++u) {
+    for (NodeId v : topo.logical_neighbors[u]) {
+      EXPECT_LE(geom::distance(positions[u], positions[v]),
+                topo.range[u] + 1e-9)
+          << GetParam().name;
+    }
+    EXPECT_LE(topo.range[u], kNormalRange + 1e-9);
+  }
+}
+
+TEST_P(TopologyPropertyTest, EffectiveEqualsLogicalWithoutMotion) {
+  const ProtocolSuite suite = make_protocol(GetParam().name);
+  util::Xoshiro256 rng(2027);
+  const auto positions = connected_placement(rng, 50);
+  const BuiltTopology topo =
+      build_topology(positions, kNormalRange, *suite.protocol, *suite.cost);
+  const auto logical = logical_graph(topo, positions);
+  const auto effective = effective_graph(topo, positions, 0.0);
+  EXPECT_EQ(logical.edge_count(), effective.edge_count()) << GetParam().name;
+  for (const auto& e : logical.edges()) {
+    EXPECT_TRUE(effective.has_edge(e.u, e.v)) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, TopologyPropertyTest,
+    ::testing::Values(ProtocolParam{"MST", true}, ProtocolParam{"RNG", true},
+                      ProtocolParam{"SPT-2", true},
+                      ProtocolParam{"SPT-4", true},
+                      ProtocolParam{"SPT-R", true},
+                      ProtocolParam{"Gabriel", true},
+                      ProtocolParam{"Yao", true}, ProtocolParam{"CBTC", true},
+                      ProtocolParam{"KNeigh", false},
+                      ProtocolParam{"None", true}),
+    [](const auto& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ProtocolInclusion, MstSubsetOfRngSubsetOfGabriel) {
+  // Condition 1 (RNG removal) implies condition 3 (MST removal), and a
+  // Gabriel witness is an RNG witness, so as kept-link sets:
+  // MST ⊆ RNG ⊆ Gabriel.
+  const ProtocolSuite mst = make_protocol("MST");
+  const ProtocolSuite rng_suite = make_protocol("RNG");
+  const ProtocolSuite gabriel = make_protocol("Gabriel");
+  util::Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto positions = connected_placement(rng, 50 + trial * 5);
+    const auto mst_graph = logical_graph(
+        build_topology(positions, kNormalRange, *mst.protocol, *mst.cost),
+        positions);
+    const auto rng_graph = logical_graph(
+        build_topology(positions, kNormalRange, *rng_suite.protocol,
+                       *rng_suite.cost),
+        positions);
+    const auto gabriel_graph = logical_graph(
+        build_topology(positions, kNormalRange, *gabriel.protocol,
+                       *gabriel.cost),
+        positions);
+    for (const auto& e : mst_graph.edges()) {
+      EXPECT_TRUE(rng_graph.has_edge(e.u, e.v)) << "trial " << trial;
+    }
+    for (const auto& e : rng_graph.edges()) {
+      EXPECT_TRUE(gabriel_graph.has_edge(e.u, e.v)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ProtocolInclusion, MstSubsetOfSpt) {
+  // Condition 2 (sum) implies condition 3 (max), so every MST logical link
+  // survives in SPT under the same cost model. SPT-2/SPT-4 use energy
+  // costs, so the inclusion is checked against an MST run on those costs.
+  util::Xoshiro256 rng(4242);
+  for (const char* spt_name : {"SPT-2", "SPT-4"}) {
+    const ProtocolSuite spt = make_protocol(spt_name);
+    const LmstProtocol mst_protocol;
+    const auto positions = connected_placement(rng, 60);
+    const auto spt_graph = logical_graph(
+        build_topology(positions, kNormalRange, *spt.protocol, *spt.cost),
+        positions);
+    const auto mst_graph = logical_graph(
+        build_topology(positions, kNormalRange, mst_protocol, *spt.cost),
+        positions);
+    for (const auto& e : mst_graph.edges()) {
+      EXPECT_TRUE(spt_graph.has_edge(e.u, e.v)) << spt_name;
+    }
+  }
+}
+
+TEST(DegreeBounds, LmstLogicalDegreeAtMostSix) {
+  // Li-Hou-Sha: LMST node degree is bounded by 6.
+  const ProtocolSuite mst = make_protocol("MST");
+  util::Xoshiro256 rng(55555);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto positions = connected_placement(rng, 80);
+    const auto g = logical_graph(
+        build_topology(positions, kNormalRange, *mst.protocol, *mst.cost),
+        positions);
+    for (NodeId u = 0; u < positions.size(); ++u) {
+      EXPECT_LE(g.degree(u), 6u) << "trial " << trial;
+    }
+  }
+}
+
+TEST(DegreeBounds, TopologyControlReducesDegreeAndRange) {
+  // Table 1's qualitative content: every paper protocol cuts both average
+  // range and average degree well below the no-control baseline.
+  util::Xoshiro256 rng(7777);
+  const auto positions = connected_placement(rng, 100);
+  const ProtocolSuite none = make_protocol("None");
+  const auto base =
+      build_topology(positions, kNormalRange, *none.protocol, *none.cost);
+  for (const char* name : {"MST", "RNG", "SPT-2", "SPT-4"}) {
+    const ProtocolSuite suite = make_protocol(name);
+    const auto topo =
+        build_topology(positions, kNormalRange, *suite.protocol, *suite.cost);
+    EXPECT_LT(topo.average_range(), 0.6 * base.average_range()) << name;
+    EXPECT_LT(topo.average_logical_degree(),
+              0.5 * base.average_logical_degree())
+        << name;
+  }
+}
+
+TEST(RemovalSymmetry, RngRemovalIsSymmetricUnderConsistentViews) {
+  // For RNG the witness condition is symmetric in the two endpoints and
+  // only involves their common neighborhood, so u selects v iff v selects u.
+  const ProtocolSuite suite = make_protocol("RNG");
+  util::Xoshiro256 rng(999);
+  const auto positions = connected_placement(rng, 70);
+  const auto topo =
+      build_topology(positions, kNormalRange, *suite.protocol, *suite.cost);
+  for (NodeId u = 0; u < positions.size(); ++u) {
+    for (NodeId v : topo.logical_neighbors[u]) {
+      EXPECT_TRUE(topo.selects(v, u)) << u << " -> " << v;
+    }
+  }
+}
+
+TEST(BuiltTopologyTest, AverageStatsOnTinyExample) {
+  BuiltTopology topo;
+  topo.logical_neighbors = {{1}, {0, 2}, {1}};
+  topo.range = {5.0, 5.0, 4.0};
+  EXPECT_TRUE(topo.selects(0, 1));
+  EXPECT_FALSE(topo.selects(0, 2));
+  EXPECT_NEAR(topo.average_range(), 14.0 / 3.0, 1e-12);
+  // Mutual selections: (0,1) and (1,2) -> degrees 1,2,1 -> average 4/3.
+  EXPECT_NEAR(topo.average_logical_degree(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(EffectiveGraphTest, BufferZoneRestoresStretchedLinks) {
+  // Two nodes drift 30 m apart after selecting ranges for 20 m: the
+  // effective link dies with buffer 0 and survives with buffer >= 10.
+  BuiltTopology topo;
+  topo.logical_neighbors = {{1}, {0}};
+  topo.range = {20.0, 20.0};
+  const std::vector<Vec2> later = {{0, 0}, {30, 0}};
+  EXPECT_EQ(effective_graph(topo, later, 0.0).edge_count(), 0u);
+  EXPECT_EQ(effective_graph(topo, later, 10.0).edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mstc::topology

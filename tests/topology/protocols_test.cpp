@@ -1,0 +1,286 @@
+// Hand-built protocol scenarios, including the paper's Fig. 2 triangle.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geom/predicates.hpp"
+#include "topology/builder.hpp"
+#include "topology/protocol.hpp"
+
+namespace mstc::topology {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kNormalRange = 250.0;
+
+ViewGraph view_of(const std::vector<Vec2>& positions, std::size_t owner,
+                  const CostModel& cost, double range = kNormalRange) {
+  std::vector<NodeId> ids(positions.size());
+  for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  return make_consistent_view(positions, ids, owner, range, cost);
+}
+
+std::vector<NodeId> logical_ids(const Protocol& protocol,
+                                const ViewGraph& view) {
+  std::vector<NodeId> out;
+  for (std::size_t index : protocol.select(view)) out.push_back(view.id(index));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The paper's Fig. 2 triangle at time t0: d(u,v) = 5, d(u,w) = 6,
+// d(v,w) = 4 (u = node 0, v = node 1, w = node 2).
+std::vector<Vec2> fig2_triangle() {
+  // w solves x^2+y^2 = 36 and (x-5)^2+y^2 = 16 -> x = 4.5, y = sqrt(15.75).
+  return {{0.0, 0.0}, {5.0, 0.0}, {4.5, std::sqrt(15.75)}};
+}
+
+TEST(RngProtocolTest, RemovesLongestEdgeOfTriangle) {
+  const DistanceCost cost;
+  const RngProtocol protocol;
+  const auto positions = fig2_triangle();
+  // u's longest adjacent link is (u,w)=6 with witness v: removed.
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+  // v keeps both: (v,u)=5 has witness w with d(w,v)=4 but d(u,w)=6 > 5.
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 1, cost)),
+            (std::vector<NodeId>{0, 2}));
+  // w keeps v, drops u (witness v: 4 < 6 and 5 < 6).
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 2, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(LmstProtocolTest, KeepsLocalMstEdges) {
+  const DistanceCost cost;
+  const LmstProtocol protocol;
+  const auto positions = fig2_triangle();
+  // Local MST of the triangle keeps edges (v,w)=4 and (u,v)=5.
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 1, cost)),
+            (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 2, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(LmstProtocolTest, MultiHopRemoval) {
+  // Chain 0-1-2 nearly collinear plus a long direct link 0-2: MST removes
+  // (0,2) because the 2-hop path has max cost below the direct cost, while
+  // RNG keeps it when no single witness beats it... here witness 1 does.
+  const std::vector<Vec2> positions = {{0, 0}, {10, 1}, {20, 0}};
+  const DistanceCost cost;
+  const LmstProtocol mst;
+  EXPECT_EQ(logical_ids(mst, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(LmstProtocolTest, FourNodePathRemoval) {
+  // 0-1-2-3 chain with direct (0,3) link: condition 3 uses the full path,
+  // so (0,3) is removed even though no single node is a witness for RNG.
+  const std::vector<Vec2> positions = {
+      {0, 0}, {60, 40}, {120, -40}, {180, 0}};
+  const DistanceCost cost;
+  const LmstProtocol mst;
+  const auto kept = logical_ids(mst, view_of(positions, 0, cost));
+  EXPECT_EQ(kept, (std::vector<NodeId>{1}));
+}
+
+TEST(SptProtocolTest, Alpha2RemovesWhenDetourCheaper) {
+  // Energy alpha=2: direct 0->2 costs 400; detour via 1 costs 2*10^2+... :
+  // positions 0,(10,0),(20,0): detour 100+100=200 < 400 -> removed.
+  const EnergyCost cost(2.0);
+  const SptProtocol protocol("SPT-2");
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {20, 0}};
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(SptProtocolTest, KeepsLinkWhenDetourIsDearer) {
+  // Distance cost: detour cost is a sum of distances which always exceeds
+  // the direct distance (triangle inequality), so nothing is removed.
+  const DistanceCost cost;
+  const SptProtocol protocol("SPT-1");
+  const auto positions = fig2_triangle();
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(SptProtocolTest, Alpha4RemovesMoreThanAlpha2Keeps) {
+  // A detour that barely loses under alpha=2 wins under alpha=4.
+  // direct = 20; detour legs 11 and 11: alpha2: 242 > 400? no, 242 < 400
+  // -> removed under both. Use legs 15,15: alpha2: 450 > 400 keep;
+  // alpha4: 2*50625=101250 < 160000 remove.
+  const std::vector<Vec2> positions = {{0, 0}, {10.0, std::sqrt(125.0)},
+                                       {20, 0}};
+  ASSERT_NEAR(geom::distance(positions[0], positions[1]), 15.0, 1e-9);
+  ASSERT_NEAR(geom::distance(positions[1], positions[2]), 15.0, 1e-9);
+  const EnergyCost cost2(2.0);
+  const EnergyCost cost4(4.0);
+  const SptProtocol protocol2("SPT-2");
+  const SptProtocol protocol4("SPT-4");
+  EXPECT_EQ(logical_ids(protocol2, view_of(positions, 0, cost2)),
+            (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(logical_ids(protocol4, view_of(positions, 0, cost4)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(GabrielProtocolTest, DiskWitnessRemoves) {
+  // Witness at the midpoint of (0, 2): inside the Gabriel disk.
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0.5}, {20, 0}};
+  const DistanceCost cost;
+  const GabrielProtocol protocol;
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(GabrielProtocolTest, LuneWitnessOutsideDiskKeeps) {
+  // Witness in the RNG lune but outside the Gabriel disk: RNG removes,
+  // Gabriel keeps.
+  const std::vector<Vec2> positions = {{0, 0}, {5.0, 5.5}, {10, 0}};
+  const Vec2 u = positions[0], w = positions[1], v = positions[2];
+  ASSERT_TRUE(geom::in_rng_lune(u, v, w));
+  ASSERT_FALSE(geom::in_gabriel_disk(u, v, w));
+  const DistanceCost cost;
+  const GabrielProtocol gabriel;
+  const RngProtocol rng;
+  EXPECT_EQ(logical_ids(gabriel, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(logical_ids(rng, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(YaoProtocolTest, KeepsNearestPerSector) {
+  // Two neighbors in the same sector (east), one in another (north):
+  // Yao keeps the nearer eastern one and the northern one.
+  const std::vector<Vec2> positions = {{0, 0}, {10, 1}, {20, 2}, {1, 15}};
+  const DistanceCost cost;
+  const YaoProtocol protocol(6);
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1, 3}));
+}
+
+TEST(YaoProtocolTest, AtMostOnePerSectorOnPointViews) {
+  const DistanceCost cost;
+  const YaoProtocol protocol(6);
+  std::vector<Vec2> positions = {{0, 0}};
+  for (int i = 0; i < 20; ++i) {
+    const double angle = 0.31 * i;
+    const double radius = 10.0 + 3.0 * i;
+    positions.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  const auto kept = protocol.select(view_of(positions, 0, cost, 1000.0));
+  EXPECT_LE(kept.size(), 6u);
+}
+
+TEST(CbtcProtocolTest, StopsWhenConesCovered) {
+  // Neighbors at 60-degree spacing, distances increasing with the index:
+  // growth adds them nearest-first and stops once the max gap drops to
+  // 2*pi/3, which happens after the fifth direction.
+  const DistanceCost cost;
+  const CbtcProtocol protocol(2.0 * std::numbers::pi / 3.0);
+  std::vector<Vec2> positions = {{0, 0}};
+  for (int i = 0; i < 6; ++i) {
+    const double angle = i * 70.0 * std::numbers::pi / 180.0;
+    const double radius = 50.0 + i;  // strictly increasing: growth order
+    positions.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  // After the first five directions (0..280 degrees) the max gap is 80
+  // degrees < 120, so growth stops before the sixth neighbor.
+  const auto kept = protocol.select(view_of(positions, 0, cost));
+  EXPECT_EQ(kept.size(), 5u);
+}
+
+TEST(CbtcProtocolTest, BoundaryNodeKeepsAllNeighbors) {
+  // All neighbors east of the owner: the western cone can never be covered,
+  // so CBTC keeps every neighbor (the paper's boundary-node behavior).
+  const DistanceCost cost;
+  const CbtcProtocol protocol(5.0 * std::numbers::pi / 6.0);
+  const std::vector<Vec2> positions = {{0, 0}, {10, 1}, {20, -2}, {30, 3}};
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(KNeighProtocolTest, KeepsKNearest) {
+  const DistanceCost cost;
+  const KNeighProtocol protocol(2);
+  const std::vector<Vec2> positions = {{0, 0}, {30, 0}, {10, 0}, {20, 0}};
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{2, 3}));
+}
+
+TEST(KNeighProtocolTest, FewerNeighborsThanK) {
+  const DistanceCost cost;
+  const KNeighProtocol protocol(5);
+  const std::vector<Vec2> positions = {{0, 0}, {30, 0}};
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(NoneProtocolTest, KeepsEveryNeighbor) {
+  const DistanceCost cost;
+  const NoneProtocol protocol;
+  const auto positions = fig2_triangle();
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ProtocolFactory, PaperLineup) {
+  const auto display_name = [](const std::string& name) -> std::string {
+    if (name == "Yao") return "Yao-6";
+    if (name == "KNeigh") return "KNeigh-9";
+    if (name == "Yao2") return "Yao-6x2";
+    if (name == "Yao3") return "Yao-6x3";
+    if (name == "CBTC2" || name == "CBTC3") return "CBTC";
+    return name;
+  };
+  for (const auto& name : protocol_names()) {
+    const ProtocolSuite suite = make_protocol(name);
+    ASSERT_NE(suite.protocol, nullptr) << name;
+    ASSERT_NE(suite.cost, nullptr) << name;
+    EXPECT_EQ(suite.protocol->name(), display_name(name)) << name;
+  }
+}
+
+TEST(SearchRegionSptTest, RemovesFarNeighborWithCheapRelay) {
+  // Chain geometry: the far neighbor (20 away) is relayed via the near
+  // one (two 10-hops cost 200 < 400 under alpha = 2), so it is outside the
+  // final search region AND removed.
+  const EnergyCost cost(2.0);
+  const SearchRegionSptProtocol protocol("SPT-R");
+  const std::vector<Vec2> positions = {{0, 0}, {10, 0}, {20, 0}};
+  EXPECT_EQ(logical_ids(protocol, view_of(positions, 0, cost)),
+            (std::vector<NodeId>{1}));
+}
+
+TEST(SearchRegionSptTest, GrowsToFullViewWhenNoRelayExists) {
+  // Two neighbors on opposite sides: no relay possible, the region must
+  // grow to cover both and both are kept — identical to full SPT.
+  const EnergyCost cost(2.0);
+  const SearchRegionSptProtocol region_protocol("SPT-R");
+  const SptProtocol full_protocol("SPT-2");
+  const std::vector<Vec2> positions = {{0, 0}, {-100, 0}, {100, 5}};
+  const auto view = view_of(positions, 0, cost);
+  EXPECT_EQ(logical_ids(region_protocol, view),
+            logical_ids(full_protocol, view));
+}
+
+TEST(SearchRegionSptTest, EmptyViewSelectsNothing) {
+  const EnergyCost cost(2.0);
+  const SearchRegionSptProtocol protocol("SPT-R");
+  const std::vector<Vec2> positions = {{0, 0}};
+  EXPECT_TRUE(protocol.select(view_of(positions, 0, cost)).empty());
+}
+
+TEST(ProtocolFactory, UnknownNameThrows) {
+  EXPECT_THROW(make_protocol("bogus"), std::invalid_argument);
+}
+
+TEST(ProtocolFactory, CostModelsMatchPaper) {
+  EXPECT_EQ(make_protocol("MST").cost->name(), "distance");
+  EXPECT_EQ(make_protocol("SPT-2").cost->name(), "energy(alpha=2)");
+  EXPECT_EQ(make_protocol("SPT-4").cost->name(), "energy(alpha=4)");
+}
+
+}  // namespace
+}  // namespace mstc::topology

@@ -1,0 +1,62 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mstc::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, KeyValuePairs) {
+  const auto args = parse({"--protocol", "RNG", "--speed=40"});
+  EXPECT_EQ(args.get("protocol", std::string("x")), "RNG");
+  EXPECT_DOUBLE_EQ(args.get("speed", 0.0), 40.0);
+}
+
+TEST(ArgParser, BareSwitch) {
+  const auto args = parse({"--pn", "--buffer", "10"});
+  EXPECT_TRUE(args.get_flag("pn"));
+  EXPECT_FALSE(args.get_flag("adaptive"));
+  EXPECT_DOUBLE_EQ(args.get("buffer", 0.0), 10.0);
+}
+
+TEST(ArgParser, SwitchFollowedByOption) {
+  // "--pn --mode weak": --pn must not consume --mode as its value.
+  const auto args = parse({"--pn", "--mode", "weak"});
+  EXPECT_TRUE(args.get_flag("pn"));
+  EXPECT_EQ(args.get("mode", std::string("latest")), "weak");
+}
+
+TEST(ArgParser, TypedFallbacks) {
+  const auto args = parse({"--count", "7", "--bad", "x7"});
+  EXPECT_EQ(args.get("count", 0L), 7);
+  EXPECT_EQ(args.get("bad", 3L), 3) << "malformed value falls back";
+  EXPECT_EQ(args.get("missing", 9L), 9);
+  EXPECT_DOUBLE_EQ(args.get("missing", 2.5), 2.5);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = parse({"alpha", "--k", "v", "beta"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(ArgParser, UnknownTracksUnqueriedOptions) {
+  const auto args = parse({"--known", "1", "--typo", "2"});
+  (void)args.get("known", 0L);
+  const auto unknown = args.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgParser, ValueOfBareSwitchIsNullopt) {
+  const auto args = parse({"--flag"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.value("flag").has_value());
+}
+
+}  // namespace
+}  // namespace mstc::util

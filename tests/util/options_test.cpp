@@ -1,0 +1,90 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mstc::util {
+namespace {
+
+class OptionsTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* name : set_) ::unsetenv(name);
+  }
+  std::vector<const char*> set_;
+};
+
+TEST_F(OptionsTest, UnsetReturnsNullopt) {
+  ::unsetenv("MSTC_TEST_UNSET");
+  EXPECT_FALSE(env("MSTC_TEST_UNSET").has_value());
+}
+
+TEST_F(OptionsTest, EmptyCountsAsUnset) {
+  SetEnv("MSTC_TEST_EMPTY", "");
+  EXPECT_FALSE(env("MSTC_TEST_EMPTY").has_value());
+  EXPECT_EQ(env_or("MSTC_TEST_EMPTY", std::int64_t{7}), 7);
+}
+
+TEST_F(OptionsTest, DoubleParsing) {
+  SetEnv("MSTC_TEST_D", "2.5");
+  EXPECT_DOUBLE_EQ(env_or("MSTC_TEST_D", 1.0), 2.5);
+}
+
+TEST_F(OptionsTest, MalformedDoubleFallsBack) {
+  SetEnv("MSTC_TEST_D2", "2.5x");
+  EXPECT_DOUBLE_EQ(env_or("MSTC_TEST_D2", 1.0), 1.0);
+}
+
+TEST_F(OptionsTest, IntParsing) {
+  SetEnv("MSTC_TEST_I", "42");
+  EXPECT_EQ(env_or("MSTC_TEST_I", std::int64_t{0}), 42);
+  SetEnv("MSTC_TEST_I_BAD", "4.2");
+  EXPECT_EQ(env_or("MSTC_TEST_I_BAD", std::int64_t{9}), 9);
+}
+
+TEST_F(OptionsTest, StringParsing) {
+  SetEnv("MSTC_TEST_S", "hello");
+  EXPECT_EQ(env_or("MSTC_TEST_S", std::string("x")), "hello");
+  EXPECT_EQ(env_or("MSTC_TEST_S_UNSET", std::string("x")), "x");
+}
+
+TEST_F(OptionsTest, FlagParsing) {
+  SetEnv("MSTC_TEST_F1", "1");
+  SetEnv("MSTC_TEST_F2", "true");
+  SetEnv("MSTC_TEST_F3", "0");
+  EXPECT_TRUE(env_flag("MSTC_TEST_F1"));
+  EXPECT_TRUE(env_flag("MSTC_TEST_F2"));
+  EXPECT_FALSE(env_flag("MSTC_TEST_F3"));
+  EXPECT_TRUE(env_flag("MSTC_TEST_F_UNSET", true));
+  EXPECT_FALSE(env_flag("MSTC_TEST_F_UNSET", false));
+}
+
+TEST_F(OptionsTest, ListParsing) {
+  SetEnv("MSTC_TEST_L", "1,2.5,3");
+  const auto values = env_list("MSTC_TEST_L", {9.0});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.5);
+  EXPECT_DOUBLE_EQ(values[2], 3.0);
+}
+
+TEST_F(OptionsTest, ListFallsBackOnGarbage) {
+  SetEnv("MSTC_TEST_L2", "1,dog,3");
+  const auto values = env_list("MSTC_TEST_L2", {9.0});
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 9.0);
+}
+
+TEST_F(OptionsTest, ListUnsetUsesFallback) {
+  const auto values = env_list("MSTC_TEST_L_UNSET", {4.0, 5.0});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 4.0);
+}
+
+}  // namespace
+}  // namespace mstc::util

@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace mstc::util {
+namespace {
+
+TEST(Summary, EmptyHasZeroCount) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, KnownMeanAndVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic example: population var 4, n=8 => 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSequentialAccumulation) {
+  Xoshiro256 rng(5);
+  Summary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 7.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(ConfidenceInterval, FewerThanTwoSamplesIsInfinite) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_TRUE(std::isinf(s.ci95().half_width));
+}
+
+TEST(ConfidenceInterval, MatchesHandComputedValue) {
+  // Sample {1,2,3,4,5}: mean 3, sd sqrt(2.5), se sqrt(0.5), t(4)=2.776.
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  const auto ci = s.ci95();
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(0.5), 1e-9);
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_FALSE(ci.contains(6.0));
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanAbout95Percent) {
+  // Property check of the CI construction: over many resamples of a known
+  // distribution, the 95 % CI should contain the true mean ~95 % of the time.
+  Xoshiro256 rng(31);
+  int covered = 0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Summary s;
+    for (int i = 0; i < 20; ++i) s.add(rng.normal(0.0, 1.0));
+    covered += s.ci95().contains(0.0);
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_GT(coverage, 0.93);
+  EXPECT_LT(coverage, 0.97);
+}
+
+TEST(TQuantile, KnownValues) {
+  EXPECT_TRUE(std::isinf(t_quantile_975(0)));
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_quantile_975(19), 2.093, 1e-3);
+  EXPECT_NEAR(t_quantile_975(1000), 1.96, 1e-3);
+}
+
+TEST(Summarize, SpanOverload) {
+  const std::array<double, 4> sample = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Median, OddAndEvenSizes) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace mstc::util

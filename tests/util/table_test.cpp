@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mstc::util {
+namespace {
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"protocol", "range", "degree"});
+  t.add_row({std::string("MST"), 65.1, std::int64_t{2}});
+  t.add_row({std::string("RNG"), 80.0, std::int64_t{3}});
+  EXPECT_EQ(t.to_csv(),
+            "protocol,range,degree\n"
+            "MST,65.100,2\n"
+            "RNG,80.000,3\n");
+}
+
+TEST(Table, PrecisionIsConfigurable) {
+  Table t({"x"});
+  t.set_precision(1);
+  t.add_row({3.14159});
+  EXPECT_EQ(t.to_csv(), "x\n3.1\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.set_title("demo");
+  t.add_row({std::string("a"), std::int64_t{1}});
+  t.add_row({std::string("longer"), std::int64_t{22}});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Header separator row of dashes is present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({std::int64_t{1}});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, MaybeWriteCsvEmptyDirIsNoop) {
+  Table t({"a"});
+  t.add_row({std::int64_t{1}});
+  t.maybe_write_csv("", "nope");  // must not crash or create files
+  SUCCEED();
+}
+
+TEST(FormatCi, FormatsMeanAndHalfWidth) {
+  EXPECT_EQ(format_ci(0.95, 0.012, 2), "0.95 ±0.01");
+}
+
+}  // namespace
+}  // namespace mstc::util

@@ -1,0 +1,82 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mstc::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, visits.size(),
+               [&visits](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, MatchesSerialResult) {
+  // Deterministic slot-based output: parallel result equals serial result.
+  ThreadPool pool(8);
+  std::vector<double> parallel_out(500), serial_out(500);
+  const auto body = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += static_cast<double>(k * k);
+    return acc;
+  };
+  parallel_for(pool, parallel_out.size(),
+               [&](std::size_t i) { parallel_out[i] = body(i); });
+  for (std::size_t i = 0; i < serial_out.size(); ++i) serial_out[i] = body(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelFor, ReusablePoolAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 5; ++round) {
+    parallel_for(pool, 100, [&total](std::size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(GlobalPool, IsSingletonAndUsable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> counter{0};
+  parallel_for(a, 10, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace mstc::util

@@ -1,0 +1,69 @@
+// mstc_dtn — command-line front end for the mobility-assisted (epidemic /
+// store-carry-forward) routing simulator.
+//
+//   mstc_dtn --nodes 40 --range 100 --speed 15 --messages 50
+#include <cstdio>
+
+#include "routing/epidemic.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+constexpr const char* kHelp = R"(mstc_dtn — mobility-assisted routing simulator
+
+options (defaults in brackets):
+  --nodes N        node count                                     [40]
+  --range R        transmission range, m                          [100]
+  --speed V        average node speed, m/s                        [10]
+  --mobility NAME  waypoint | static | walk | gauss               [waypoint]
+  --relay-hops H   max relay hops (0 = direct-only, 1 = two-hop)  [64]
+  --buffer N       per-node buffer capacity (0 = unlimited)       [0]
+  --messages M     messages to inject                             [50]
+  --duration T     simulated seconds                              [120]
+  --seed S         RNG seed                                       [1]
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mstc;
+  const util::ArgParser args(argc, argv);
+  if (args.get_flag("help")) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
+
+  routing::EpidemicConfig cfg;
+  cfg.node_count = static_cast<std::size_t>(args.get("nodes", 40L));
+  cfg.range = args.get("range", 100.0);
+  cfg.average_speed = args.get("speed", 10.0);
+  cfg.mobility_model = args.get("mobility", std::string("waypoint"));
+  cfg.max_relay_hops = static_cast<std::size_t>(args.get("relay-hops", 64L));
+  cfg.buffer_limit = static_cast<std::size_t>(args.get("buffer", 0L));
+  cfg.message_count = static_cast<std::size_t>(args.get("messages", 50L));
+  cfg.duration = args.get("duration", 120.0);
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  for (const auto& name : args.unknown()) {
+    std::fprintf(stderr, "error: unknown option --%s (try --help)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  try {
+    const auto result = routing::run_epidemic(cfg);
+    std::printf(
+        "substrate snapshot connectivity  %.3f (how partitioned the raw "
+        "graph was)\n"
+        "delivery ratio                   %.3f\n"
+        "mean delay of delivered msgs     %.1f s (max %.1f)\n"
+        "mean copies per message          %.1f\n",
+        result.snapshot_connectivity, result.delivery_ratio,
+        result.delay.count() > 0 ? result.delay.mean() : 0.0,
+        result.delay.count() > 0 ? result.delay.max() : 0.0,
+        result.mean_copies_per_message);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
