@@ -67,9 +67,15 @@ std::optional<topology::VersionedPosition> LocalViewStore::at_version(
 std::vector<NodeId> LocalViewStore::neighbors() const {
   std::vector<NodeId> ids;
   ids.reserve(entries_.size());
+  // Sorted below, so the hash map's implementation-defined order is safe.
+  // mstc-lint: allow(unordered-iteration)
   for (const auto& [sender, history] : entries_) {
     if (sender != owner_ && !history.empty()) ids.push_back(sender);
   }
+  // Canonical order: entries_ is a hash map, and neighbor order flows into
+  // ViewGraph node indices and therefore into tie-breaking everywhere
+  // downstream. Sorting keeps runs identical across standard libraries.
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

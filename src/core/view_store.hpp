@@ -47,7 +47,8 @@ class LocalViewStore {
   [[nodiscard]] std::optional<topology::VersionedPosition> at_version(
       NodeId sender, std::uint64_t version) const;
 
-  /// Ids of known 1-hop neighbors (excludes the owner), unsorted.
+  /// Ids of known 1-hop neighbors (excludes the owner), sorted ascending so
+  /// view assembly is independent of hash-map iteration order.
   [[nodiscard]] std::vector<NodeId> neighbors() const;
 
   [[nodiscard]] std::size_t neighbor_count() const noexcept {

@@ -59,11 +59,12 @@ void ContentionChannel::attempt(NodeId sender, double range, std::size_t bits,
     // Carrier busy: back off a random number of slots and retry.
     const double backoff =
         config_.slot_time *
-        static_cast<double>(
-            1 + rng_.uniform_below(config_.contention_window));
+        static_cast<double>(1 + rng_.uniform_below(static_cast<std::uint64_t>(
+                                    config_.contention_window)));
     simulator_.schedule_in(
         backoff, [this, sender, range, bits, tries_left,
-                  receive = std::move(on_receive), drop = std::move(on_drop)]() mutable {
+                  receive = std::move(on_receive),
+                  drop = std::move(on_drop)]() mutable {
           attempt(sender, range, bits, tries_left - 1, std::move(receive),
                   std::move(drop));
         });

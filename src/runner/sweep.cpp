@@ -6,22 +6,36 @@
 
 namespace mstc::runner {
 
-std::vector<metrics::RunAggregator> run_batch(
-    const std::vector<ScenarioConfig>& configs, std::size_t repeats) {
+std::vector<metrics::RunStats> run_batch_raw(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool) {
   const std::size_t total = configs.size() * repeats;
   std::vector<metrics::RunStats> results(total);
-  util::parallel_for(util::global_pool(), total, [&](std::size_t task) {
+  util::parallel_for(pool, total, [&](std::size_t task) {
     const std::size_t config_index = task / repeats;
     const std::size_t replication = task % repeats;
     ScenarioConfig cfg = configs[config_index];
     cfg.seed = util::derive_seed(cfg.seed, replication + 1);
     results[task] = run_scenario(cfg);
   });
+  return results;
+}
+
+std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool) {
+  const std::vector<metrics::RunStats> results =
+      run_batch_raw(configs, repeats, pool);
   std::vector<metrics::RunAggregator> aggregated(configs.size());
-  for (std::size_t task = 0; task < total; ++task) {
+  for (std::size_t task = 0; task < results.size(); ++task) {
     aggregated[task / repeats].add(results[task]);
   }
   return aggregated;
+}
+
+std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats) {
+  return run_batch(configs, repeats, util::global_pool());
 }
 
 metrics::RunAggregator run_repeated(const ScenarioConfig& base,

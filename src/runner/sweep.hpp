@@ -2,7 +2,9 @@
 //
 // Each configuration is repeated with derived seeds (the paper: 20 repeats,
 // 95 % CIs) across the global thread pool; results are bit-identical to a
-// serial execution because replication r always writes slot r.
+// serial execution because replication r always writes slot r. The
+// determinism suite (tests/determinism/) executes that claim against 1-, 2-
+// and N-thread pools on every run.
 #pragma once
 
 #include <functional>
@@ -10,6 +12,7 @@
 
 #include "metrics/aggregate.hpp"
 #include "runner/config.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mstc::runner {
 
@@ -23,5 +26,19 @@ namespace mstc::runner {
 /// Result i aggregates configs[i]'s replications.
 [[nodiscard]] std::vector<metrics::RunAggregator> run_batch(
     const std::vector<ScenarioConfig>& configs, std::size_t repeats);
+
+/// Same, but on an explicit pool. Results are a pure function of
+/// (configs, repeats) — independent of the pool's thread count — which the
+/// determinism tests assert byte-for-byte.
+[[nodiscard]] std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool);
+
+/// Per-replication raw results for configs[i], replication r at index
+/// i * repeats + r; the building block of run_batch exposed so tests can
+/// byte-compare unaggregated outputs across pool sizes.
+[[nodiscard]] std::vector<metrics::RunStats> run_batch_raw(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool);
 
 }  // namespace mstc::runner

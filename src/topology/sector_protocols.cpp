@@ -23,10 +23,10 @@ std::vector<std::size_t> YaoProtocol::select(const ViewGraph& view) const {
   constexpr CostKey kNoneYet{std::numeric_limits<double>::infinity(), 0, 0};
   std::vector<CostKey> sector_best(static_cast<std::size_t>(sectors_),
                                    kNoneYet);
-  std::vector<int> sector_of(n, 0);
+  std::vector<std::size_t> sector_of(n, 0);
   for (std::size_t v = 1; v < n; ++v) {
-    sector_of[v] =
-        geom::yao_sector(origin, view.representative(v), sectors_);
+    sector_of[v] = static_cast<std::size_t>(
+        geom::yao_sector(origin, view.representative(v), sectors_));
     sector_best[sector_of[v]] =
         std::min(sector_best[sector_of[v]], view.cost_max(0, v));
   }
@@ -59,7 +59,8 @@ std::vector<std::size_t> KYaoProtocol::select(const ViewGraph& view) const {
   std::vector<std::vector<std::size_t>> sector(
       static_cast<std::size_t>(sectors_));
   for (std::size_t v = 1; v < n; ++v) {
-    sector[geom::yao_sector(origin, view.representative(v), sectors_)]
+    sector[static_cast<std::size_t>(
+               geom::yao_sector(origin, view.representative(v), sectors_))]
         .push_back(v);
   }
   std::vector<std::size_t> logical;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdlib>
 
 #include "util/options.hpp"
@@ -30,6 +31,11 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard lock(mutex_);
+    // Submitting to a pool whose destructor has started would silently drop
+    // the task once workers drain and exit — and then wedge wait_idle()
+    // forever on the never-decremented in_flight_ count. Fail loudly instead.
+    assert(!stopping_ && "ThreadPool::submit after shutdown began");
+    if (stopping_) return;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -46,7 +52,8 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      task_available_.wait(
+          lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -32,9 +32,13 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw; exceptions escaping a task
   /// terminate the program (simulation code reports errors via results).
+  /// Calling submit() after the destructor has begun is a programming error:
+  /// it asserts in debug builds and drops the task in release builds.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every task submitted so far has finished. Safe to call
+  /// concurrently from several threads; tasks submitted concurrently with
+  /// the call may or may not be waited for.
   void wait_idle();
 
  private:

@@ -1,0 +1,138 @@
+// Executable determinism contract (ctest label "concurrency").
+//
+// The repo promises two invariants: (1) every run is a pure function of
+// (config, seed), and (2) pool-backed sweeps are bit-identical to serial
+// execution regardless of thread count. These tests byte-compare metric
+// outputs — exact IEEE-754 bit patterns via bit_cast, not EXPECT_NEAR —
+// across serial re-runs and 1-, 2- and N-thread pools, so any source of
+// nondeterminism (unordered iteration, uninitialized reads, racing
+// accumulation) fails the suite instead of silently skewing Figs. 6-10.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "metrics/aggregate.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mstc::runner {
+namespace {
+
+// Exact bit patterns of every metric in a RunStats — two results are
+// "byte-identical" iff these vectors compare equal.
+std::vector<std::uint64_t> bit_snapshot(const metrics::RunStats& stats) {
+  return {std::bit_cast<std::uint64_t>(stats.delivery_ratio),
+          std::bit_cast<std::uint64_t>(stats.strict_connectivity),
+          std::bit_cast<std::uint64_t>(stats.mean_range),
+          std::bit_cast<std::uint64_t>(stats.mean_logical_degree),
+          std::bit_cast<std::uint64_t>(stats.mean_physical_degree),
+          std::bit_cast<std::uint64_t>(stats.control_tx_rate),
+          std::bit_cast<std::uint64_t>(stats.mac_collision_fraction)};
+}
+
+std::vector<std::uint64_t> bit_snapshot(
+    const std::vector<metrics::RunStats>& runs) {
+  std::vector<std::uint64_t> bits;
+  bits.reserve(runs.size() * 7);
+  for (const auto& run : runs) {
+    const auto one = bit_snapshot(run);
+    bits.insert(bits.end(), one.begin(), one.end());
+  }
+  return bits;
+}
+
+std::vector<ScenarioConfig> representative_configs() {
+  ScenarioConfig baseline;
+  baseline.protocol = "RNG";
+  baseline.average_speed = 30.0;
+  baseline.duration = 6.0;
+  baseline.warmup = 1.5;
+  baseline.seed = 987654321;
+
+  ScenarioConfig consistent = baseline;
+  consistent.protocol = "MST";
+  consistent.mode = core::ConsistencyMode::kWeak;
+  consistent.buffer_width = 50.0;
+
+  ScenarioConfig contended = baseline;
+  contended.protocol = "SPT-2";
+  contended.mode = core::ConsistencyMode::kViewSync;
+  contended.mac = "csma";
+
+  return {baseline, consistent, contended};
+}
+
+constexpr std::size_t kRepeats = 2;
+
+// Plain-loop reference: what run_batch_raw must reproduce exactly.
+std::vector<metrics::RunStats> serial_reference(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats) {
+  std::vector<metrics::RunStats> results;
+  results.reserve(configs.size() * repeats);
+  for (const auto& config : configs) {
+    for (std::size_t r = 0; r < repeats; ++r) {
+      ScenarioConfig replica = config;
+      replica.seed = util::derive_seed(config.seed, r + 1);
+      results.push_back(run_scenario(replica));
+    }
+  }
+  return results;
+}
+
+TEST(Determinism, SerialRerunIsByteIdentical) {
+  const auto configs = representative_configs();
+  const auto first = bit_snapshot(serial_reference(configs, kRepeats));
+  const auto second = bit_snapshot(serial_reference(configs, kRepeats));
+  ASSERT_EQ(first, second)
+      << "run_scenario is not a pure function of (config, seed)";
+}
+
+TEST(Determinism, PoolSizesOneTwoAndNMatchSerialByteForByte) {
+  const auto configs = representative_configs();
+  const auto reference = bit_snapshot(serial_reference(configs, kRepeats));
+
+  const std::size_t hardware = std::max<std::size_t>(
+      2, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hardware}) {
+    util::ThreadPool pool(threads);
+    const auto parallel =
+        bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+    ASSERT_EQ(parallel, reference)
+        << "sweep through a " << threads
+        << "-thread pool diverged from serial execution";
+  }
+}
+
+TEST(Determinism, GlobalPoolBatchMatchesSerial) {
+  const auto configs = representative_configs();
+  const auto reference = serial_reference(configs, kRepeats);
+  const auto aggregated = run_batch(configs, kRepeats);
+  ASSERT_EQ(aggregated.size(), configs.size());
+
+  metrics::RunAggregator manual;
+  for (std::size_t r = 0; r < kRepeats; ++r) manual.add(reference[r]);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(aggregated[0].delivery().mean()),
+            std::bit_cast<std::uint64_t>(manual.delivery().mean()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(aggregated[0].strict().mean()),
+            std::bit_cast<std::uint64_t>(manual.strict().mean()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(aggregated[0].control_tx().mean()),
+            std::bit_cast<std::uint64_t>(manual.control_tx().mean()));
+}
+
+TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {
+  // Pool reuse across batches must not leak state between sweeps.
+  const auto configs = representative_configs();
+  util::ThreadPool pool(3);
+  const auto first = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+  const auto second = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+  ASSERT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace mstc::runner

@@ -31,7 +31,7 @@ TEST(Simulator, SimultaneousEventsAreFifo) {
     simulator.schedule_at(5.0, [&order, i] { order.push_back(i); });
   }
   simulator.run_all();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
 TEST(Simulator, ClockAdvancesToEventTime) {

@@ -129,7 +129,8 @@ TEST(ProtocolInclusion, MstSubsetOfRngSubsetOfGabriel) {
   const ProtocolSuite gabriel = make_protocol("Gabriel");
   util::Xoshiro256 rng(31337);
   for (int trial = 0; trial < 8; ++trial) {
-    const auto positions = connected_placement(rng, 50 + trial * 5);
+    const auto positions =
+        connected_placement(rng, static_cast<std::size_t>(50 + trial * 5));
     const auto mst_graph = logical_graph(
         build_topology(positions, kNormalRange, *mst.protocol, *mst.cost),
         positions);

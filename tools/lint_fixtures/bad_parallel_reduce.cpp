@@ -1,0 +1,15 @@
+// Fixture: parallel floating-point reduction must trip
+// parallel-float-reduce.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double unstable_sum(const std::vector<double>& values) {
+  return std::reduce(std::execution::par, values.begin(), values.end(), 0.0);
+}
+
+double unstable_transform(const std::vector<double>& values) {
+  return std::transform_reduce(std::execution::par_unseq, values.begin(),
+                               values.end(), 0.0, std::plus<>{},
+                               [](double v) { return v * v; });
+}

@@ -1,0 +1,13 @@
+// Fixture: every line here must trip the raw-random rule.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_sources() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  int a = std::rand();
+  std::random_device entropy;
+  std::mt19937 twister(entropy());
+  std::mt19937_64 twister64(12345);
+  return a + static_cast<int>(twister() + twister64());
+}

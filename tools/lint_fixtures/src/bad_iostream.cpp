@@ -1,0 +1,4 @@
+// Fixture: <iostream> in library code must trip iostream-in-lib.
+#include <iostream>
+
+void chatty() { std::cout << "library code must not print\n"; }

@@ -1,0 +1,22 @@
+// Fixture: range-for over unordered containers must trip
+// unordered-iteration (the file sits under a src/ path on purpose).
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<int, std::string> names;
+  std::unordered_set<int> ids;
+
+  std::size_t total() const {
+    std::size_t sum = 0;
+    for (const auto& [id, name] : names) {
+      sum += name.size() + static_cast<std::size_t>(id);
+    }
+    for (int id : ids) {
+      sum += static_cast<std::size_t>(id);
+    }
+    return sum;
+  }
+};

@@ -1,0 +1,14 @@
+// Fixture: clean library code — comments and strings that merely mention
+// std::rand, std::mt19937 or random_device must NOT be reported, and
+// ordered-container iteration is fine.
+#include <map>
+#include <string>
+#include <vector>
+
+// We deliberately avoid std::mt19937; see src/util/prng.hpp.
+int sum_ordered(const std::map<int, int>& values) {
+  int total = 0;
+  for (const auto& [key, value] : values) total += value;
+  const std::string note = "std::rand() is banned; time(nullptr) too";
+  return total + static_cast<int>(note.size());
+}

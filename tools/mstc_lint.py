@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""mstc_lint: repo-specific determinism / correctness linter.
+
+Every simulation run in this repository must be a pure function of
+(config, seed), and parallel sweeps must be bit-identical to serial
+execution. This linter mechanically enforces the coding rules that protect
+those invariants (see docs/DEVELOPMENT.md):
+
+  raw-random            std::rand / srand / std::random_device /
+                        std::mt19937 / time(nullptr)-style seeding anywhere
+                        outside src/util/prng.* — all randomness must flow
+                        through the seeded Xoshiro256 / derive_seed API.
+  unordered-iteration   range-for over a std::unordered_map/set declared in
+                        the same file. Hash-table iteration order is
+                        implementation-defined; when the loop's results feed
+                        metrics or event ordering, runs stop being
+                        reproducible across standard libraries.
+  parallel-float-reduce std::reduce / std::transform_reduce with an
+                        std::execution policy. Parallel reduction reorders
+                        floating-point addition, so sums change bit patterns
+                        from run to run.
+  iostream-in-lib       #include <iostream> in library code (src/). Library
+                        code must not talk to std::cout/cerr; report through
+                        return values and let tools/ front ends print.
+
+Suppression: append ``// mstc-lint: allow(<rule>)`` to the offending line or
+place it alone on the line directly above. Suppressions are deliberate,
+reviewable markers — use them only with a justification comment nearby.
+
+Usage:
+  mstc_lint.py <file-or-dir> [more paths...]
+  mstc_lint.py --list-rules
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp"}
+
+ALLOW_RE = re.compile(r"//\s*mstc-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+RULES = {
+    "raw-random": (
+        "raw randomness outside src/util/prng.*: route all randomness "
+        "through util::Xoshiro256 / derive_seed so runs stay a pure "
+        "function of (config, seed)"
+    ),
+    "unordered-iteration": (
+        "iteration over an unordered container: hash-table order is "
+        "implementation-defined and breaks run-to-run reproducibility "
+        "when results feed metrics or event ordering"
+    ),
+    "parallel-float-reduce": (
+        "parallel std::reduce/transform_reduce: reordered floating-point "
+        "accumulation is not bit-stable across runs"
+    ),
+    "iostream-in-lib": (
+        "#include <iostream> in library code: report through return "
+        "values; only tools/ front ends may print"
+    ),
+}
+
+RAW_RANDOM_RE = re.compile(
+    r"(?<![:\w])(?:"
+    r"std::rand\b|std::srand\b|\brand\s*\(\s*\)|\bsrand\s*\(|"
+    r"std::random_device\b|\brandom_device\b|"
+    r"std::mt19937(?:_64)?\b|\bmt19937(?:_64)?\b|"
+    r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+    r")"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
+)
+# Variable / member name following a (possibly multi-line) unordered
+# declaration: `> name;`, `> name{...};`, `> name =`.
+UNORDERED_NAME_RE = re.compile(r">\s*(\w+)\s*(?:;|\{|=)")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\*?(\w+(?:[.\->]\w+(?:\(\))?)*)\s*\)")
+
+PARALLEL_REDUCE_RE = re.compile(
+    r"std\s*::\s*(?:transform_reduce|reduce)\s*\(\s*std\s*::\s*execution\s*::"
+)
+
+IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so findings keep accurate line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(" " * (end - i))
+            i = end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            chunk = text[i:end]
+            out.append("".join("\n" if c == "\n" else " " for c in chunk))
+            i = end
+        elif ch in ('"', "'"):
+            quote = ch
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            out.append(quote + " " * max(0, j - i - 2) + quote)
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, detail: str = ""):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.detail = detail
+
+    def __str__(self) -> str:
+        message = RULES[self.rule]
+        if self.detail:
+            message = f"{message} [{self.detail}]"
+        return f"{self.path}:{self.line}: [{self.rule}] {message}"
+
+
+def allowed_rules(raw_lines: list[str], index: int) -> set[str]:
+    """Rules suppressed for raw_lines[index] (same line or the line above)."""
+    rules: set[str] = set()
+    for probe in (index, index - 1):
+        if 0 <= probe < len(raw_lines):
+            match = ALLOW_RE.search(raw_lines[probe])
+            if match:
+                rules.update(r.strip() for r in match.group(1).split(","))
+    return rules
+
+
+def is_library_code(path: Path) -> bool:
+    return "src" in path.parts
+
+
+def is_prng_unit(path: Path) -> bool:
+    return path.name in ("prng.hpp", "prng.cpp") and "util" in path.parts
+
+
+def unordered_container_names(stripped: str) -> set[str]:
+    """Names declared (anywhere in the file) with an unordered type."""
+    names: set[str] = set()
+    for match in UNORDERED_DECL_RE.finditer(stripped):
+        # Scan forward past balanced template brackets to the variable name.
+        i = match.end() - 1  # at '<'
+        depth = 0
+        while i < len(stripped):
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        name_match = UNORDERED_NAME_RE.match(stripped, i)
+        if name_match:
+            names.add(name_match.group(1))
+    return names
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as error:
+        print(f"mstc_lint: cannot read {path}: {error}", file=sys.stderr)
+        return []
+    raw_lines = text.splitlines()
+    stripped = strip_comments_and_strings(text)
+    stripped_lines = stripped.splitlines()
+
+    findings: list[Finding] = []
+
+    def report(index: int, rule: str, detail: str = "") -> None:
+        if rule not in allowed_rules(raw_lines, index):
+            findings.append(Finding(path, index + 1, rule, detail))
+
+    unordered_names = unordered_container_names(stripped)
+
+    for index, line in enumerate(stripped_lines):
+        if not is_prng_unit(path) and RAW_RANDOM_RE.search(line):
+            report(index, "raw-random")
+
+        if PARALLEL_REDUCE_RE.search(line):
+            report(index, "parallel-float-reduce")
+
+        if is_library_code(path) and IOSTREAM_RE.search(line):
+            report(index, "iostream-in-lib")
+
+        if is_library_code(path) and unordered_names:
+            for loop in RANGE_FOR_RE.finditer(line):
+                target = loop.group(1)
+                base = re.split(r"[.\->(]", target)[0]
+                if base in unordered_names or target in unordered_names:
+                    report(index, "unordered-iteration", f"over '{target}'")
+
+    return findings
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*"))
+                if p.suffix in CXX_SUFFIXES and p.is_file()
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"mstc_lint: no such file or directory: {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="mstc_lint.py",
+        description="Determinism / correctness linter for the mstc repo.")
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and descriptions, then exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}: {description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in collect_files(args.paths):
+        findings.extend(lint_file(path))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"mstc_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
