@@ -20,7 +20,7 @@ int main() {
       grid.push_back(cfg);
     }
   }
-  const auto results = runner::run_batch(grid, repeats);
+  const auto results = bench::observed_run_batch(grid, repeats, "fig6");
 
   util::Table table({"protocol", "speed_mps", "connectivity",
                      "strict_connectivity"});

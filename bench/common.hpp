@@ -13,10 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mstc::bench {
 
@@ -47,6 +50,68 @@ inline runner::ScenarioConfig base_config() {
 inline std::string ci_cell(const util::Summary& summary, int precision = 3) {
   const auto ci = summary.ci95();
   return util::format_ci(ci.mean, ci.half_width, precision);
+}
+
+/// run_batch with bench-wide observability: MSTC_PROGRESS=1 reports
+/// completed/total + ETA on stderr while the sweep runs, and when
+/// $MSTC_CSV_DIR is set a machine-readable run manifest (config, seed,
+/// counter totals, wall-clock profile) lands next to the CSVs as
+/// <name>.manifest.json. Results are byte-identical to plain run_batch.
+inline std::vector<metrics::RunAggregator> observed_run_batch(
+    const std::vector<runner::ScenarioConfig>& grid, std::size_t repeats,
+    const std::string& name) {
+  const std::string csv_dir = util::env_or("MSTC_CSV_DIR", std::string{});
+  const bool progress =
+      util::env_or("MSTC_PROGRESS", std::int64_t{0}) != 0;
+  const bool manifest = !csv_dir.empty();
+
+  util::ThreadPool& pool = util::global_pool();
+  std::vector<obs::RunObservation> observations;
+  runner::SweepHooks hooks;
+  if (manifest) {
+    hooks.observations = &observations;
+    hooks.profile = true;
+  }
+  if (progress) {
+    hooks.on_progress = [](const runner::SweepProgress& p) {
+      std::fprintf(stderr, "\r[%zu/%zu] %.1fs elapsed, eta %.1fs   ",
+                   p.completed, p.total, p.elapsed_seconds, p.eta_seconds);
+      if (p.completed == p.total) std::fputc('\n', stderr);
+      std::fflush(stderr);
+    };
+  }
+
+  const std::uint64_t sweep_start = obs::wall_now_ns();
+  auto results = runner::run_batch(grid, repeats, pool, hooks);
+  if (manifest) {
+    obs::CounterRegistry counters;
+    obs::Profiler profiler;
+    for (const obs::RunObservation& observation : observations) {
+      counters.merge(observation.counters);
+      profiler.merge(observation.profiler);
+    }
+    obs::Manifest out;
+    out.tool = "bench_" + name;
+    out.seed = base_config().seed;
+    out.configurations = grid.size();
+    out.repeats = repeats;
+    const auto cfg = base_config();
+    out.config = {
+        {"nodes", std::to_string(cfg.node_count)},
+        {"duration", std::to_string(cfg.duration)},
+        {"mobility", cfg.mobility_model},
+    };
+    out.counters = &counters;
+    out.profiler = &profiler;
+    out.sweep_wall_seconds =
+        static_cast<double>(obs::wall_now_ns() - sweep_start) * 1e-9;
+    out.pool_threads = pool.thread_count();
+    const std::string path = csv_dir + "/" + name + ".manifest.json";
+    if (!obs::write_manifest(path, out)) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+  }
+  return results;
 }
 
 /// Prints the table and mirrors it to $MSTC_CSV_DIR/<name>.csv.

@@ -8,8 +8,16 @@ Usage:
 Produces one PNG per figure, mirroring the paper's layout: connectivity
 ratio vs average moving speed, one sub-plot per protocol where the paper
 uses one (Figs. 7, 9, 10). Requires matplotlib.
+
+Counter mode (see docs/OBSERVABILITY.md):
+    mstc_sim --trace-jsonl run.jsonl ...
+    python3 scripts/plot_results.py --counters run.jsonl plots/
+
+reads a JSONL event trace and plots the cumulative event count of every
+event kind against simulation time (all replications summed).
 """
 import csv
+import json
 import os
 import sys
 from collections import defaultdict
@@ -63,7 +71,61 @@ def plot_per_protocol(rows, series_key, title, out):
     fig.savefig(out)
 
 
+def read_jsonl(path):
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def plot_counters(jsonl_path, out_dir):
+    """Cumulative event count per kind vs sim-time, from a JSONL trace."""
+    events = read_jsonl(jsonl_path)
+    if not events:
+        print(f"no events in {jsonl_path}")
+        return
+    by_kind = defaultdict(list)
+    for event in events:
+        by_kind[event["kind"]].append(event["t"])
+    try:
+        import matplotlib.pyplot as plt
+    except ImportError:
+        # Headless fallback: still useful as a quick trace summary.
+        print(f"matplotlib not available; per-kind totals of {jsonl_path}:")
+        for kind in sorted(by_kind):
+            times = by_kind[kind]
+            print(f"  {kind:24s} {len(times):8d}  "
+                  f"t=[{min(times):.3f}, {max(times):.3f}]")
+        return
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for kind in sorted(by_kind):
+        times = sorted(by_kind[kind])
+        ax.step(times, range(1, len(times) + 1), where="post",
+                label=f"{kind} ({len(times)})")
+    ax.set_xlabel("sim-time (s)")
+    ax.set_ylabel("cumulative events")
+    ax.set_yscale("log")
+    ax.set_title(os.path.basename(jsonl_path))
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    os.makedirs(out_dir, exist_ok=True)
+    target = os.path.join(out_dir, "counters.png")
+    fig.savefig(target)
+    print(f"wrote {target}")
+
+
 def main():
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--counters":
+        if len(argv) < 2:
+            print("usage: plot_results.py --counters TRACE.jsonl [out_dir]",
+                  file=sys.stderr)
+            sys.exit(2)
+        plot_counters(argv[1], argv[2] if len(argv) > 2 else "plots")
+        return
     csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
     out_dir = sys.argv[2] if len(sys.argv) > 2 else "plots"
     os.makedirs(out_dir, exist_ok=True)

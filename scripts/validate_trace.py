@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""End-to-end validation of mstc_sim's observability output.
+
+Runs the simulator with --trace / --trace-jsonl / --metrics-out into a
+temporary directory and validates every artifact against the documented
+schema (docs/OBSERVABILITY.md):
+
+  * the Chrome trace is valid JSON in trace_event format (loadable by
+    Perfetto / chrome://tracing): a traceEvents array whose instant events
+    carry pid/tid/ts/name and whose processes are named replications,
+  * the JSONL trace has one object per line with exactly the documented
+    keys, per-run consecutive seq numbering and non-decreasing sim-time,
+  * the manifest records the config, seed, counter totals and wall-clock
+    profile, with hello counters matching the closed form of the scenario
+    (static nodes, proactive rounds => hello_tx == rounds * nodes).
+
+Usage: validate_trace.py /path/to/mstc-sim
+Registered as ctest "mstc_trace_e2e".
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+EXPECTED_JSONL_KEYS = {"run", "seq", "t", "node", "kind", "value", "aux"}
+
+# Scenario chosen so the Hello counters have a closed form: proactive mode
+# fires synchronized rounds at t = 0..10 (11 rounds), static nodes, zero
+# loss, and a transmission range exceeding the 900x900 arena diagonal
+# (~1273 m) so every node hears every round.
+NODES = 5
+ROUNDS = 11
+ARGS = [
+    "--mode", "proactive", "--mobility", "static", "--nodes", str(NODES),
+    "--duration", "10.5", "--hello-interval", "1", "--range", "1300",
+    "--repeats", "2", "--seed", "7",
+]
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome(path: Path) -> None:
+    with open(path) as handle:
+        document = json.load(handle)  # must parse — Perfetto requires it
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("chrome trace: traceEvents missing or empty")
+    process_names = 0
+    instants = 0
+    for event in events:
+        if event.get("ph") == "M":
+            if event.get("name") == "process_name":
+                process_names += 1
+            continue
+        if event.get("ph") != "i":
+            fail(f"chrome trace: unexpected phase {event.get('ph')!r}")
+        instants += 1
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in event:
+                fail(f"chrome trace: instant event missing {key!r}: {event}")
+        if event["ts"] < 0:
+            fail("chrome trace: negative timestamp")
+    if process_names < 2:
+        fail("chrome trace: expected one process_name per replication")
+    if instants == 0:
+        fail("chrome trace: no instant events")
+    print(f"  chrome trace ok: {instants} instants, "
+          f"{process_names} named processes")
+
+
+def check_jsonl(path: Path) -> None:
+    per_run_seq: dict[int, int] = {}
+    per_run_time: dict[int, float] = {}
+    records = 0
+    kinds = set()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if set(record) != EXPECTED_JSONL_KEYS:
+                fail(f"jsonl line {line_no}: keys {sorted(record)} != "
+                     f"{sorted(EXPECTED_JSONL_KEYS)}")
+            run = record["run"]
+            expected_seq = per_run_seq.get(run, 0)
+            if record["seq"] != expected_seq:
+                fail(f"jsonl line {line_no}: run {run} seq {record['seq']}, "
+                     f"expected {expected_seq} (per-run consecutive)")
+            per_run_seq[run] = expected_seq + 1
+            if record["t"] < per_run_time.get(run, 0.0):
+                fail(f"jsonl line {line_no}: sim-time went backwards")
+            per_run_time[run] = record["t"]
+            if not (0 <= record["node"] < NODES):
+                fail(f"jsonl line {line_no}: node {record['node']} "
+                     f"out of range")
+            kinds.add(record["kind"])
+            records += 1
+    if records == 0:
+        fail("jsonl: no records")
+    if len(per_run_seq) != 2:
+        fail(f"jsonl: expected 2 runs, saw {sorted(per_run_seq)}")
+    if "hello_tx" not in kinds:
+        fail(f"jsonl: no hello_tx events (kinds: {sorted(kinds)})")
+    print(f"  jsonl ok: {records} records, {len(per_run_seq)} runs, "
+          f"{len(kinds)} kinds")
+
+
+def check_manifest(path: Path) -> None:
+    with open(path) as handle:
+        manifest = json.load(handle)
+    for key in ("tool", "version", "seed", "repeats", "config", "counters",
+                "histograms", "wall"):
+        if key not in manifest:
+            fail(f"manifest: missing key {key!r}")
+    if manifest["tool"] != "mstc_sim":
+        fail(f"manifest: tool = {manifest['tool']!r}")
+    counters = manifest["counters"]
+    expected_tx = ROUNDS * NODES * manifest["repeats"]
+    if counters.get("hello_tx") != expected_tx:
+        fail(f"manifest: hello_tx = {counters.get('hello_tx')}, expected "
+             f"{expected_tx} ({ROUNDS} rounds x {NODES} nodes x "
+             f"{manifest['repeats']} repeats)")
+    expected_rx = expected_tx * (NODES - 1)
+    if counters.get("hello_rx") != expected_rx:
+        fail(f"manifest: hello_rx = {counters.get('hello_rx')}, "
+             f"expected {expected_rx}")
+    wall = manifest["wall"]
+    if wall.get("runs") != manifest["repeats"]:
+        fail(f"manifest: wall.runs = {wall.get('runs')}")
+    if not wall.get("events", 0) > 0:
+        fail("manifest: wall.events not positive")
+    print(f"  manifest ok: hello_tx={expected_tx} hello_rx={expected_rx} "
+          f"exact")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: validate_trace.py /path/to/mstc-sim", file=sys.stderr)
+        return 2
+    binary = Path(sys.argv[1])
+    if not binary.is_file():
+        fail(f"no such binary: {binary}")
+
+    with tempfile.TemporaryDirectory(prefix="mstc_trace_") as raw:
+        out = Path(raw)
+        chrome = out / "run.trace.json"
+        jsonl = out / "run.jsonl"
+        manifest = out / "manifest.json"
+        command = [str(binary), *ARGS,
+                   "--trace", str(chrome),
+                   "--trace-jsonl", str(jsonl),
+                   "--metrics-out", str(manifest)]
+        result = subprocess.run(command, capture_output=True, text=True,
+                                check=False)
+        if result.returncode != 0:
+            fail(f"mstc_sim exited {result.returncode}:\n{result.stderr}")
+        for artifact in (chrome, jsonl, manifest):
+            if not artifact.is_file():
+                fail(f"artifact not written: {artifact.name}")
+        check_chrome(chrome)
+        check_jsonl(jsonl)
+        check_manifest(manifest)
+    print("validate_trace: all artifacts conform to the documented schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,8 @@ std::vector<NodeId> set_union(const std::vector<NodeId>& a,
 
 }  // namespace
 
-std::vector<bool> wu_li_marking(const graph::Graph& g) {
+std::vector<bool> wu_li_marking(const graph::Graph& g,
+                                const obs::Probe* probe) {
   const std::size_t n = g.node_count();
   std::vector<bool> marked(n, false);
   for (NodeId u = 0; u < n; ++u) {
@@ -50,11 +51,15 @@ std::vector<bool> wu_li_marking(const graph::Graph& g) {
         }
       }
     }
+    if (marked[u] && probe != nullptr) {
+      probe->count_node(obs::Counter::kCdsMarked, u);
+    }
   }
   return marked;
 }
 
-std::vector<bool> prune(const graph::Graph& g, std::vector<bool> marked) {
+std::vector<bool> prune(const graph::Graph& g, std::vector<bool> marked,
+                        const obs::Probe* probe) {
   const std::size_t n = g.node_count();
   std::vector<std::vector<NodeId>> open(n), closed(n);
   for (NodeId u = 0; u < n; ++u) {
@@ -68,6 +73,7 @@ std::vector<bool> prune(const graph::Graph& g, std::vector<bool> marked) {
       const NodeId v = e.to;
       if (marked[v] && v > u && subset(closed[u], closed[v])) {
         marked[u] = false;
+        if (probe != nullptr) probe->count_node(obs::Counter::kCdsPruned, u);
         break;
       }
     }
@@ -85,6 +91,9 @@ std::vector<bool> prune(const graph::Graph& g, std::vector<bool> marked) {
         if (w == v || !marked[w] || w <= u || !g.has_edge(v, w)) continue;
         if (subset(open[u], set_union(closed[v], closed[w]))) {
           marked[u] = false;
+          if (probe != nullptr) {
+            probe->count_node(obs::Counter::kCdsPruned, u);
+          }
           pruned = true;
           break;
         }
@@ -94,8 +103,9 @@ std::vector<bool> prune(const graph::Graph& g, std::vector<bool> marked) {
   return marked;
 }
 
-std::vector<bool> connected_dominating_set(const graph::Graph& g) {
-  return prune(g, wu_li_marking(g));
+std::vector<bool> connected_dominating_set(const graph::Graph& g,
+                                           const obs::Probe* probe) {
+  return prune(g, wu_li_marking(g, probe), probe);
 }
 
 bool is_connected_dominating_set(const graph::Graph& g,
@@ -173,8 +183,14 @@ std::pair<std::size_t, std::size_t> simulate_broadcast(
 }  // namespace
 
 std::size_t forward_count(const graph::Graph& g,
-                          const std::vector<bool>& in_set, NodeId source) {
-  return simulate_broadcast(g, in_set, source).second;
+                          const std::vector<bool>& in_set, NodeId source,
+                          const obs::Probe* probe) {
+  const std::size_t transmissions =
+      simulate_broadcast(g, in_set, source).second;
+  if (probe != nullptr) {
+    probe->count_node(obs::Counter::kBroadcastForwards, source, transmissions);
+  }
+  return transmissions;
 }
 
 double broadcast_coverage(const graph::Graph& g,

@@ -12,23 +12,29 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/probe.hpp"
 
 namespace mstc::broadcast {
 
 /// Wu-Li marking process: node u is marked iff it has two neighbors that
 /// are not adjacent to each other. On a connected graph the marked set is
-/// a connected dominating set (possibly large).
-[[nodiscard]] std::vector<bool> wu_li_marking(const graph::Graph& g);
+/// a connected dominating set (possibly large). A probe, when given, counts
+/// every marked node (cds_marked, per-node scope).
+[[nodiscard]] std::vector<bool> wu_li_marking(
+    const graph::Graph& g, const obs::Probe* probe = nullptr);
 
 /// Pruning Rule 1: unmark u when some marked neighbor v with higher id
 /// covers it (N[u] ⊆ N[v]). Rule 2: unmark u when two adjacent... marked
 /// neighbors v, w (both with higher ids) jointly cover it
-/// (N(u) ⊆ N(v) ∪ N(w)). Preserves the CDS property.
+/// (N(u) ⊆ N(v) ∪ N(w)). Preserves the CDS property. A probe counts every
+/// unmarked node (cds_pruned).
 [[nodiscard]] std::vector<bool> prune(const graph::Graph& g,
-                                      std::vector<bool> marked);
+                                      std::vector<bool> marked,
+                                      const obs::Probe* probe = nullptr);
 
 /// Convenience: marking + pruning.
-[[nodiscard]] std::vector<bool> connected_dominating_set(const graph::Graph& g);
+[[nodiscard]] std::vector<bool> connected_dominating_set(
+    const graph::Graph& g, const obs::Probe* probe = nullptr);
 
 /// True when every unmarked node has a marked neighbor and the marked
 /// nodes induce a connected subgraph (trivially true when <= 1 marked).
@@ -38,10 +44,12 @@ namespace mstc::broadcast {
 /// Number of transmissions a broadcast needs when only set members forward
 /// (the source always transmits): 1 + |set \ {source}| reachable members.
 /// Returns the count of nodes that would transmit for a flood from
-/// `source`, or 0 when the source id is out of range.
+/// `source`, or 0 when the source id is out of range. A probe accumulates
+/// the transmissions into broadcast_forwards (source-node scope).
 [[nodiscard]] std::size_t forward_count(const graph::Graph& g,
                                         const std::vector<bool>& in_set,
-                                        graph::NodeId source);
+                                        graph::NodeId source,
+                                        const obs::Probe* probe = nullptr);
 
 /// Fraction of nodes that receive a broadcast from `source` when only set
 /// members forward.

@@ -18,6 +18,10 @@ HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
   const HelloRecord hello{id_, {true_position, version, now}};
   store_.record(hello);
   ++hellos_sent_;
+  if (probe_ != nullptr) {
+    probe_->count_node(obs::Counter::kHelloTx, id_);
+    probe_->trace(obs::EventKind::kHelloTx, now, id_, 0.0, version);
+  }
   switch (config_.mode) {
     case ConsistencyMode::kLatest:
     case ConsistencyMode::kViewSync:
@@ -40,27 +44,42 @@ HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
 void NodeController::on_hello_receive(const HelloRecord& hello, double now) {
   store_.record(hello);
   store_.expire(now);
+  if (probe_ != nullptr) {
+    probe_->count_node(obs::Counter::kHelloRx, id_);
+    probe_->trace(obs::EventKind::kHelloRx, now, id_, 0.0, hello.sender);
+  }
 }
 
 void NodeController::refresh_selection(double now) {
+  if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
   if (!store_.latest(id_)) return;  // nothing advertised yet
   if (config_.mode == ConsistencyMode::kWeak) {
-    apply_selection(build_weak_view(store_, config_.normal_range, cost_));
+    apply_selection(build_weak_view(store_, config_.normal_range, cost_), now);
   } else {
-    apply_selection(build_latest_view(store_, config_.normal_range, cost_));
+    apply_selection(build_latest_view(store_, config_.normal_range, cost_),
+                    now);
   }
 }
 
 void NodeController::refresh_selection_versioned(double now,
                                                  std::uint64_t version) {
+  if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
   const auto view =
       build_versioned_view(store_, version, config_.normal_range, cost_);
-  if (view) apply_selection(*view);
+  if (view) apply_selection(*view, now);
 }
 
-void NodeController::apply_selection(const topology::ViewGraph& view) {
+void NodeController::apply_selection(const topology::ViewGraph& view,
+                                     double now) {
+  const bool observing = probe_ != nullptr && probe_->counting();
+  double previous_extended = 0.0;
+  if (observing) {
+    previous_logical_ = logical_;
+    previous_extended = extended_range();
+  }
+
   const auto chosen = protocol_.select(view);
   logical_.clear();
   logical_.reserve(chosen.size());
@@ -76,6 +95,26 @@ void NodeController::apply_selection(const topology::ViewGraph& view) {
         std::max(actual_range_, view.distance_max(0, index) * (1.0 + 1e-9));
   }
   std::sort(logical_.begin(), logical_.end());
+
+  if (observing) {
+    probe_->count_node(obs::Counter::kTopologyRecomputes, id_);
+    probe_->trace(obs::EventKind::kTopologyRecompute, now, id_, actual_range_,
+                  logical_.size());
+    // Logical neighbors present before the recompute but absent after:
+    // the link-removal churn weak consistency is designed to suppress.
+    for (NodeId neighbor : previous_logical_) {
+      if (!std::binary_search(logical_.begin(), logical_.end(), neighbor)) {
+        probe_->count_node(obs::Counter::kLinkRemovals, id_);
+        probe_->trace(obs::EventKind::kLinkRemoval, now, id_, 0.0, neighbor);
+      }
+    }
+    const double extended = extended_range();
+    if (extended > previous_extended) {
+      probe_->count_node(obs::Counter::kBufferZoneExpansions, id_);
+      probe_->trace(obs::EventKind::kBufferZoneExpansion, now, id_, extended,
+                    0);
+    }
+  }
 }
 
 bool NodeController::is_logical(NodeId neighbor) const {

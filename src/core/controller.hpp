@@ -14,6 +14,7 @@
 
 #include "core/buffer_zone.hpp"
 #include "core/consistency.hpp"
+#include "obs/probe.hpp"
 #include "topology/protocol.hpp"
 
 namespace mstc::core {
@@ -41,6 +42,12 @@ class NodeController {
   [[nodiscard]] const ControllerConfig& config() const noexcept {
     return config_;
   }
+
+  /// Attaches an observability probe (hello_tx/rx, view_syncs,
+  /// topology_recomputes, link_removals, buffer_zone_expansions). The probe
+  /// must outlive the controller; null detaches. Counting never feeds back
+  /// into decisions, so attaching a probe cannot change the selection.
+  void attach_probe(const obs::Probe* probe) noexcept { probe_ = probe; }
 
   /// Records the position this node is about to advertise and returns the
   /// Hello to broadcast. Also refreshes the logical selection (the paper:
@@ -83,7 +90,7 @@ class NodeController {
   [[nodiscard]] const LocalViewStore& store() const noexcept { return store_; }
 
  private:
-  void apply_selection(const topology::ViewGraph& view);
+  void apply_selection(const topology::ViewGraph& view, double now);
 
   NodeId id_;
   const topology::Protocol& protocol_;
@@ -93,6 +100,9 @@ class NodeController {
   std::vector<NodeId> logical_;
   double actual_range_ = 0.0;
   std::uint64_t hellos_sent_ = 0;
+  const obs::Probe* probe_ = nullptr;
+  // Scratch for link-removal diffs; allocated only while a probe counts.
+  std::vector<NodeId> previous_logical_;
 };
 
 }  // namespace mstc::core

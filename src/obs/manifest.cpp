@@ -1,0 +1,152 @@
+#include "obs/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace mstc::obs {
+
+const char* build_version() noexcept {
+#ifdef MSTC_GIT_DESCRIBE
+  return MSTC_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+bool write_manifest(const std::string& path, const Manifest& manifest) {
+  std::unique_ptr<std::FILE, FileCloser> file(
+      std::fopen(path.c_str(), "w"));
+  if (!file) return false;
+  std::FILE* f = file.get();
+
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"tool\": \"%s\",\n",
+               json_escape(manifest.tool).c_str());
+  std::fprintf(f, "  \"version\": \"%s\",\n",
+               json_escape(build_version()).c_str());
+  std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", manifest.seed);
+  std::fprintf(f, "  \"configurations\": %zu,\n", manifest.configurations);
+  std::fprintf(f, "  \"repeats\": %zu,\n", manifest.repeats);
+
+  std::fprintf(f, "  \"config\": {");
+  for (std::size_t i = 0; i < manifest.config.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": \"%s\"", i == 0 ? "" : ",",
+                 json_escape(manifest.config[i].first).c_str(),
+                 json_escape(manifest.config[i].second).c_str());
+  }
+  std::fprintf(f, "%s},\n", manifest.config.empty() ? "" : "\n  ");
+
+  std::fprintf(f, "  \"counters\": {");
+  if (manifest.counters != nullptr) {
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      std::fprintf(f, "%s\n    \"%s\": %" PRIu64, c == 0 ? "" : ",",
+                   counter_name(static_cast<Counter>(c)),
+                   manifest.counters->total(static_cast<Counter>(c)));
+    }
+    std::fprintf(f, "\n  ");
+  }
+  std::fprintf(f, "},\n");
+
+  std::fprintf(f, "  \"histograms\": {");
+  if (manifest.counters != nullptr) {
+    for (std::size_t h = 0; h < kHistCount; ++h) {
+      const Histogram& hist =
+          manifest.counters->histogram(static_cast<Hist>(h));
+      std::fprintf(f, "%s\n    \"%s\": {\"count\": %" PRIu64
+                      ", \"mean\": %.9g, \"buckets\": [",
+                   h == 0 ? "" : ",", hist_name(static_cast<Hist>(h)),
+                   hist.count(), hist.mean());
+      for (std::size_t b = 0; b < hist.bucket_count(); ++b) {
+        std::fprintf(f, "%s%" PRIu64, b == 0 ? "" : ", ", hist.bucket(b));
+      }
+      std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "\n  ");
+  }
+  std::fprintf(f, "},\n");
+
+  std::fprintf(f, "  \"wall\": {");
+  if (manifest.profiler != nullptr) {
+    const Profiler& prof = *manifest.profiler;
+    std::fprintf(f, "\n    \"runs\": %" PRIu64 ",\n", prof.runs());
+    std::fprintf(f, "    \"events\": %" PRIu64 ",\n", prof.events());
+    std::fprintf(f, "    \"event_loop_seconds\": %.6f,\n",
+                 static_cast<double>(prof.run_wall_ns()) * 1e-9);
+    std::fprintf(f, "    \"events_per_second\": %.1f,\n",
+                 prof.events_per_second());
+    std::fprintf(f, "    \"sweep_wall_seconds\": %.6f,\n",
+                 manifest.sweep_wall_seconds);
+    std::fprintf(f, "    \"pool_threads\": %zu,\n", manifest.pool_threads);
+    // Busy fraction of the pool over the sweep: per-run event-loop time
+    // summed, divided by wall * width. > 1 cannot happen; ~0 means the
+    // sweep was setup-bound or the pool oversized.
+    const double denom = manifest.sweep_wall_seconds *
+                         static_cast<double>(manifest.pool_threads);
+    std::fprintf(f, "    \"pool_utilization\": %.4f,\n",
+                 denom > 0.0
+                     ? (static_cast<double>(prof.run_wall_ns()) * 1e-9) / denom
+                     : 0.0);
+    std::fprintf(f, "    \"categories\": {");
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+      std::fprintf(f,
+                   "%s\n      \"%s\": {\"seconds\": %.6f, \"calls\": %" PRIu64
+                   "}",
+                   c == 0 ? "" : ",", category_name(static_cast<Category>(c)),
+                   static_cast<double>(
+                       prof.nanos(static_cast<Category>(c))) * 1e-9,
+                   prof.calls(static_cast<Category>(c)));
+    }
+    std::fprintf(f, "\n    }\n  ");
+  }
+  std::fprintf(f, "}\n");
+
+  std::fprintf(f, "}\n");
+  return std::ferror(f) == 0;
+}
+
+}  // namespace mstc::obs

@@ -1,0 +1,49 @@
+// Machine-readable run manifest (manifest.json).
+//
+// A sweep's self-description: what ran (tool, build version, config),
+// how it was randomized (seed, repeats), what happened (counter totals,
+// histograms) and how fast (wall-clock profile, events/sec, pool
+// utilization). Wall-clock fields describe the machine, not the
+// simulation — they are excluded from the determinism byte-compare
+// surface, like all observability output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/profile.hpp"
+
+namespace mstc::obs {
+
+/// Build identifier baked in by CMake (`git describe --always --dirty`),
+/// or "unknown" outside a git checkout.
+[[nodiscard]] const char* build_version() noexcept;
+
+struct Manifest {
+  std::string tool;     ///< producing binary, e.g. "mstc_sim"
+  std::uint64_t seed = 0;
+  std::size_t configurations = 0;
+  std::size_t repeats = 0;
+  /// Free-form config key/values (protocol, mode, speed, ...). Values are
+  /// emitted as JSON strings verbatim-escaped.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Merged counter totals + histograms across the sweep; optional.
+  const CounterRegistry* counters = nullptr;
+  /// Merged wall-clock profile across the sweep; optional.
+  const Profiler* profiler = nullptr;
+  /// Sweep wall time and pool width, for utilization = busy / (wall * n).
+  double sweep_wall_seconds = 0.0;
+  std::size_t pool_threads = 0;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+/// Writes the manifest as pretty-printed JSON; false on I/O failure.
+[[nodiscard]] bool write_manifest(const std::string& path,
+                                  const Manifest& manifest);
+
+}  // namespace mstc::obs

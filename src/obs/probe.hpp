@@ -1,0 +1,86 @@
+// The hot-path handle of the observability layer.
+//
+// A RunObservation bundles everything one simulation run may record
+// (counters, trace, wall-clock profile) plus the enable flags; a Probe is
+// the cheap value handle instrumentation points hold. A default-constructed
+// Probe is permanently disabled: every count()/trace() call reduces to a
+// branch on a null pointer, which is the "zero overhead when off" contract
+// the determinism suite leans on (observation on vs off must yield
+// byte-identical RunStats).
+//
+// Threading: a RunObservation belongs to exactly one run; nothing here
+// locks. Parallel sweeps allocate one RunObservation per replication slot
+// and merge afterwards in deterministic task order (runner::SweepHooks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/counters.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace mstc::obs {
+
+/// Everything one simulation run records. Counters are on whenever an
+/// observation is attached; tracing and profiling are opt-in because they
+/// cost memory / clock reads respectively.
+struct RunObservation {
+  CounterRegistry counters;
+  MemoryTraceSink trace;
+  Profiler profiler;
+  bool trace_on = false;
+  bool profile_on = false;
+};
+
+class Probe {
+ public:
+  /// Disabled probe: all recording calls are no-ops.
+  Probe() = default;
+  explicit Probe(RunObservation* observation) noexcept
+      : observation_(observation) {}
+
+  [[nodiscard]] bool counting() const noexcept {
+    return observation_ != nullptr;
+  }
+  [[nodiscard]] bool tracing() const noexcept {
+    return observation_ != nullptr && observation_->trace_on;
+  }
+  /// Null when profiling is off — feed it straight to ScopedTimer.
+  [[nodiscard]] Profiler* profiler() const noexcept {
+    return observation_ != nullptr && observation_->profile_on
+               ? &observation_->profiler
+               : nullptr;
+  }
+
+  void count(Counter counter, std::uint64_t delta = 1) const {
+    if (observation_ != nullptr) observation_->counters.add(counter, delta);
+  }
+  void count_node(Counter counter, std::size_t node,
+                  std::uint64_t delta = 1) const {
+    if (observation_ != nullptr) {
+      observation_->counters.add_node(counter, node, delta);
+    }
+  }
+  void observe(Hist hist, double value) const {
+    if (observation_ != nullptr) {
+      observation_->counters.histogram(hist).add(value);
+    }
+  }
+
+  /// Records a trace event at sim-time `time` (every instrumentation point
+  /// already has the simulation clock in hand, so no time source is
+  /// threaded through the probe).
+  void trace(EventKind kind, double time, std::size_t node,
+             double value = 0.0, std::uint64_t aux = 0) const {
+    if (tracing()) {
+      observation_->trace.record(TraceEvent{
+          time, static_cast<std::uint32_t>(node), kind, value, aux});
+    }
+  }
+
+ private:
+  RunObservation* observation_ = nullptr;
+};
+
+}  // namespace mstc::obs

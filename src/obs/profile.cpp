@@ -1,0 +1,36 @@
+#include "obs/profile.hpp"
+
+// The one sanctioned wall-clock read in the library tree; everything else
+// must go through wall_now_ns() (enforced by the `wall-clock` lint rule).
+#include <chrono>
+
+namespace mstc::obs {
+
+const char* category_name(Category category) noexcept {
+  switch (category) {
+    case Category::kSetup:
+      return "setup";
+    case Category::kBeaconing:
+      return "beaconing";
+    case Category::kSyncFlood:
+      return "sync_flood";
+    case Category::kDataFlood:
+      return "data_flood";
+    case Category::kSnapshot:
+      return "snapshot";
+    case Category::kContact:
+      return "contact";
+    case Category::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::uint64_t wall_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace mstc::obs

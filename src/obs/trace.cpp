@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace mstc::obs {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kHelloTx:
+      return "hello_tx";
+    case EventKind::kHelloRx:
+      return "hello_rx";
+    case EventKind::kViewSync:
+      return "view_sync";
+    case EventKind::kTopologyRecompute:
+      return "topology_recompute";
+    case EventKind::kLinkRemoval:
+      return "link_removal";
+    case EventKind::kBufferZoneExpansion:
+      return "buffer_zone_expansion";
+    case EventKind::kSyncContact:
+      return "sync_contact";
+    case EventKind::kFloodStart:
+      return "flood_start";
+    case EventKind::kBroadcastForward:
+      return "broadcast_forward";
+    case EventKind::kFloodDelivery:
+      return "flood_delivery";
+    case EventKind::kFloodScored:
+      return "flood_scored";
+    case EventKind::kSnapshot:
+      return "snapshot";
+    case EventKind::kEpidemicInject:
+      return "epidemic_inject";
+    case EventKind::kEpidemicDelivery:
+      return "epidemic_delivery";
+    case EventKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_for_write(const std::string& path) {
+  return FilePtr(std::fopen(path.c_str(), "w"));
+}
+
+}  // namespace
+
+bool write_jsonl(const std::string& path,
+                 const std::vector<const MemoryTraceSink*>& runs) {
+  FilePtr file = open_for_write(path);
+  if (!file) return false;
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    if (runs[run] == nullptr) continue;
+    std::uint64_t seq = 0;
+    for (const TraceEvent& event : runs[run]->events()) {
+      std::fprintf(file.get(),
+                   "{\"run\":%zu,\"seq\":%" PRIu64
+                   ",\"t\":%.9g,\"node\":%" PRIu32
+                   ",\"kind\":\"%s\",\"value\":%.9g,\"aux\":%" PRIu64 "}\n",
+                   run, seq++, event.time, event.node,
+                   event_kind_name(event.kind), event.value, event.aux);
+    }
+  }
+  return std::ferror(file.get()) == 0;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<const MemoryTraceSink*>& runs) {
+  FilePtr file = open_for_write(path);
+  if (!file) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", file.get());
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) std::fputs(",\n", file.get());
+    first = false;
+  };
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    if (runs[run] == nullptr) continue;
+    comma();
+    std::fprintf(file.get(),
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                 "\"tid\":0,\"args\":{\"name\":\"replication %zu\"}}",
+                 run, run);
+    for (const TraceEvent& event : runs[run]->events()) {
+      comma();
+      // Instant events ("ph":"i", thread scope); sim seconds -> trace us.
+      std::fprintf(file.get(),
+                   "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%zu,"
+                   "\"tid\":%" PRIu32
+                   ",\"ts\":%.3f,\"args\":{\"value\":%.9g,\"aux\":%" PRIu64
+                   "}}",
+                   event_kind_name(event.kind), run, event.node,
+                   event.time * 1e6, event.value, event.aux);
+    }
+  }
+  std::fputs("\n]}\n", file.get());
+  return std::ferror(file.get()) == 0;
+}
+
+}  // namespace mstc::obs

@@ -54,20 +54,29 @@ struct Carried {
 
 class EpidemicSim {
  public:
-  explicit EpidemicSim(const EpidemicConfig& cfg)
+  EpidemicSim(const EpidemicConfig& cfg, obs::RunObservation* observation)
       : cfg_(cfg),
+        probe_(observation),
         traces_(mobility::generate_traces(
             *make_mobility(cfg), cfg.node_count, cfg.duration,
             util::derive_seed(cfg.seed, 0xE81D))),
         medium_(traces_, {}),
         rng_(util::derive_seed(cfg.seed, 0xC0FFEE)),
-        buffers_(cfg.node_count) {}
+        buffers_(cfg.node_count) {
+    medium_.set_probe(&probe_);
+  }
 
   EpidemicResult run() {
     schedule_beacons();
     inject_messages();
     schedule_snapshots();
+    const std::uint64_t wall_start =
+        probe_.profiler() != nullptr ? obs::wall_now_ns() : 0;
     simulator_.run_until(cfg_.duration);
+    if (obs::Profiler* profiler = probe_.profiler()) {
+      profiler->add_run(obs::wall_now_ns() - wall_start,
+                        simulator_.processed_events());
+    }
 
     EpidemicResult result;
     std::size_t delivered = 0;
@@ -104,7 +113,9 @@ class EpidemicSim {
   }
 
   void beacon(NodeId u) {
+    const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kContact);
     const double now = simulator_.now();
+    probe_.count_node(obs::Counter::kHelloTx, u);
     // A beacon == a contact opportunity: every node in range pulls the
     // copies it lacks from u (ideal anti-entropy; the reverse direction
     // happens on the receiver's own beacon).
@@ -126,8 +137,13 @@ class EpidemicSim {
       if (seen_[carried.message][to]) continue;
       seen_[carried.message][to] = 1;
       ++m.copies;
+      probe_.count_node(obs::Counter::kEpidemicTransfers, to);
       if (m.destination == to) {
         m.delivered_at = now;
+        probe_.count_node(obs::Counter::kEpidemicDeliveries, to);
+        probe_.observe(obs::Hist::kEpidemicDelay, now - m.injected_at);
+        probe_.trace(obs::EventKind::kEpidemicDelivery, now, to,
+                     now - m.injected_at, carried.message);
         continue;
       }
       store(to, {carried.message, carried.hops + 1});
@@ -156,6 +172,8 @@ class EpidemicSim {
         seen_.emplace_back(cfg_.node_count, 0);
         seen_[id][source] = 1;
         store(source, {id, 0});
+        probe_.trace(obs::EventKind::kEpidemicInject, simulator_.now(),
+                     source, 0.0, destination);
       });
     }
   }
@@ -174,6 +192,7 @@ class EpidemicSim {
   }
 
   EpidemicConfig cfg_;
+  obs::Probe probe_;
   std::vector<mobility::Trace> traces_;
   sim::Medium medium_;
   sim::Simulator simulator_;
@@ -190,7 +209,12 @@ class EpidemicSim {
 }  // namespace
 
 EpidemicResult run_epidemic(const EpidemicConfig& config) {
-  EpidemicSim sim(config);
+  return run_epidemic(config, nullptr);
+}
+
+EpidemicResult run_epidemic(const EpidemicConfig& config,
+                            obs::RunObservation* observation) {
+  EpidemicSim sim(config, observation);
   return sim.run();
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "mobility/trace.hpp"
+#include "obs/probe.hpp"
 #include "util/stats.hpp"
 
 namespace mstc::routing {
@@ -59,5 +60,12 @@ struct EpidemicResult {
 
 /// Runs one epidemic-routing simulation; deterministic in (config, seed).
 [[nodiscard]] EpidemicResult run_epidemic(const EpidemicConfig& config);
+
+/// Same, recording counters (hello_tx beacons, epidemic_transfers,
+/// epidemic_deliveries), trace events and the end-to-end delay histogram
+/// into `observation` (null behaves exactly like the plain overload; the
+/// result is byte-identical either way).
+[[nodiscard]] EpidemicResult run_epidemic(const EpidemicConfig& config,
+                                          obs::RunObservation* observation);
 
 }  // namespace mstc::routing

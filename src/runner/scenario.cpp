@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "core/effective.hpp"
@@ -49,8 +50,9 @@ std::unique_ptr<mobility::MobilityModel> make_mobility(
 
 class Scenario {
  public:
-  explicit Scenario(const ScenarioConfig& cfg)
+  Scenario(const ScenarioConfig& cfg, obs::RunObservation* observation)
       : cfg_(cfg),
+        probe_(observation),
         traces_(mobility::generate_traces(
             *make_mobility(cfg), cfg.node_count, cfg.duration,
             util::derive_seed(cfg.seed, 0xA11CE))),
@@ -80,6 +82,8 @@ class Scenario {
       nodes_.emplace_back(u, *suite_.protocol, *suite_.cost,
                           controller_config);
     }
+    for (auto& node : nodes_) node.attach_probe(&probe_);
+    medium_.set_probe(&probe_);
     last_hello_version_.assign(cfg.node_count, 0);
 
     if (cfg.mac == "csma") {
@@ -95,7 +99,13 @@ class Scenario {
     schedule_beaconing();
     schedule_floods();
     schedule_snapshots();
+    const std::uint64_t wall_start =
+        probe_.profiler() != nullptr ? obs::wall_now_ns() : 0;
     simulator_.run_until(cfg_.duration);
+    if (obs::Profiler* profiler = probe_.profiler()) {
+      profiler->add_run(obs::wall_now_ns() - wall_start,
+                        simulator_.processed_events());
+    }
     metrics::RunStats stats;
     stats.delivery_ratio = delivery_.mean();
     stats.strict_connectivity = strict_.mean();
@@ -147,6 +157,7 @@ class Scenario {
   }
 
   void async_hello(NodeId u) {
+    const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kBeaconing);
     const double now = simulator_.now();
     const std::uint64_t version = ++last_hello_version_[u];
     broadcast_hello(u, version, now);
@@ -160,6 +171,8 @@ class Scenario {
     if (base > cfg_.duration) return;
     for (NodeId u = 0; u < nodes_.size(); ++u) {
       simulator_.schedule_at(base + proactive_skew_[u], [this, u, round] {
+        const obs::ScopedTimer timer(probe_.profiler(),
+                                     obs::Category::kBeaconing);
         last_hello_version_[u] = round;
         broadcast_hello(u, round, simulator_.now());
       });
@@ -177,6 +190,8 @@ class Scenario {
     // a bounded wait.
     simulator_.schedule_at(start, [this, round] { sync_contact(0, round); });
     simulator_.schedule_at(start + kReactiveDecisionWait, [this, round] {
+      const obs::ScopedTimer timer(probe_.profiler(),
+                                   obs::Category::kSyncFlood);
       for (auto& node : nodes_) {
         node.refresh_selection_versioned(simulator_.now(), round);
       }
@@ -188,11 +203,15 @@ class Scenario {
 
   void sync_contact(NodeId u, std::uint64_t round) {
     if (sync_round_seen_[u] >= round) return;
+    const obs::ScopedTimer timer(probe_.profiler(),
+                                 obs::Category::kSyncFlood);
     sync_round_seen_[u] = round;
     const double now = simulator_.now();
     last_hello_version_[u] = round;
     broadcast_hello(u, round, now);
     ++control_transmissions_;  // the separate initiation forward
+    probe_.count_node(obs::Counter::kSyncFloodForwards, u);
+    probe_.trace(obs::EventKind::kSyncContact, now, u, 0.0, round);
     // Forward the initiation (flooding: every node forwards once).
     if (channel_) {
       channel_->transmit(u, cfg_.normal_range, kSyncBits,
@@ -217,7 +236,7 @@ class Scenario {
     if (channel_) {
       channel_->transmit(u, cfg_.normal_range, kHelloBits,
                          [this, hello](NodeId v) {
-                           if (drop_by_loss_injection()) return;
+                           if (drop_by_loss_injection(v)) return;
                            nodes_[v].on_hello_receive(hello,
                                                       simulator_.now());
                          });
@@ -225,7 +244,7 @@ class Scenario {
     }
     medium_.receivers(u, cfg_.normal_range, now, receiver_buffer_);
     for (NodeId v : receiver_buffer_) {
-      if (drop_by_loss_injection()) continue;
+      if (drop_by_loss_injection(v)) continue;
       simulator_.schedule_in(kPropagationDelay, [this, v, hello] {
         nodes_[v].on_hello_receive(hello, simulator_.now());
       });
@@ -233,8 +252,13 @@ class Scenario {
   }
 
   /// Independent per-reception Hello loss (failure injection).
-  [[nodiscard]] bool drop_by_loss_injection() {
-    return cfg_.hello_loss > 0.0 && loss_rng_.bernoulli(cfg_.hello_loss);
+  [[nodiscard]] bool drop_by_loss_injection(NodeId receiver) {
+    const bool dropped =
+        cfg_.hello_loss > 0.0 && loss_rng_.bernoulli(cfg_.hello_loss);
+    if (dropped) {
+      probe_.count_node(obs::Counter::kHelloLossDrops, receiver);
+    }
+    return dropped;
   }
 
   // --- flooding workload ----------------------------------------------
@@ -261,11 +285,14 @@ class Scenario {
   }
 
   void start_flood(std::size_t index) {
+    const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kDataFlood);
     Flood& flood = floods_[index];
     flood.received.assign(nodes_.size(), 0);
     const NodeId source = traffic_rng_.uniform_below(nodes_.size());
     flood.received[source] = 1;
     flood.count = 1;
+    probe_.trace(obs::EventKind::kFloodStart, simulator_.now(), source, 0.0,
+                 index);
     if (cfg_.mode == core::ConsistencyMode::kProactive) {
       // Packets carry the source's latest decidable timestamp.
       flood.pinned_version =
@@ -276,6 +303,7 @@ class Scenario {
 
   /// Marks v as having the packet (deduplicated) and lets it forward.
   void deliver_flood(std::size_t index, NodeId sender, NodeId v) {
+    const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kDataFlood);
     Flood& flood = floods_[index];
     // Empty => already scored and released; also dedupe deliveries.
     if (flood.received.empty() || flood.received[v]) return;
@@ -287,11 +315,15 @@ class Scenario {
     }
     flood.received[v] = 1;
     ++flood.count;
+    probe_.count_node(obs::Counter::kFloodDeliveries, v);
+    probe_.trace(obs::EventKind::kFloodDelivery, simulator_.now(), v, 0.0,
+                 index);
     forward_flood(index, v);
   }
 
   void forward_flood(std::size_t index, NodeId u) {
     const double now = simulator_.now();
+    probe_.count_node(obs::Counter::kBroadcastForwards, u);
     Flood& flood = floods_[index];
     // On-the-fly selection updates at every packet transmission:
     if (cfg_.mode == core::ConsistencyMode::kViewSync) {
@@ -322,8 +354,14 @@ class Scenario {
 
   void finish_flood(std::size_t index) {
     if (nodes_.size() < 2) return;
+    const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kDataFlood);
     const double others = static_cast<double>(nodes_.size() - 1);
-    delivery_.add(static_cast<double>(floods_[index].count - 1) / others);
+    const double ratio =
+        static_cast<double>(floods_[index].count - 1) / others;
+    delivery_.add(ratio);
+    probe_.observe(obs::Hist::kFloodDeliveryRatio, ratio);
+    probe_.trace(obs::EventKind::kFloodScored, simulator_.now(), 0, ratio,
+                 index);
     floods_[index].received.clear();
     floods_[index].received.shrink_to_fit();
   }
@@ -339,17 +377,24 @@ class Scenario {
   }
 
   void take_snapshot() {
+    const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kSnapshot);
     medium_.positions(simulator_.now(), position_buffer_);
     const auto stats = metrics::measure_snapshot(nodes_, position_buffer_);
     strict_.add(stats.strict_connectivity);
     range_.add(stats.mean_range);
     logical_degree_.add(stats.mean_logical_degree);
     physical_degree_.add(stats.mean_physical_degree);
+    probe_.count(obs::Counter::kSnapshots);
+    probe_.observe(obs::Hist::kSnapshotConnectivity,
+                   stats.strict_connectivity);
+    probe_.trace(obs::EventKind::kSnapshot, simulator_.now(), 0,
+                 stats.strict_connectivity, 0);
   }
 
   // --- state -----------------------------------------------------------
 
   ScenarioConfig cfg_;
+  obs::Probe probe_;
   std::vector<mobility::Trace> traces_;
   sim::Medium medium_;
   sim::Simulator simulator_;
@@ -383,8 +428,20 @@ class Scenario {
 }  // namespace
 
 metrics::RunStats run_scenario(const ScenarioConfig& config) {
-  Scenario scenario(config);
-  return scenario.run();
+  return run_scenario(config, nullptr);
+}
+
+metrics::RunStats run_scenario(const ScenarioConfig& config,
+                               obs::RunObservation* observation) {
+  const obs::Probe probe(observation);
+  std::optional<Scenario> scenario;
+  {
+    // Trace generation + controller construction dominate startup cost;
+    // attribute them separately from the event loop.
+    const obs::ScopedTimer timer(probe.profiler(), obs::Category::kSetup);
+    scenario.emplace(config, observation);
+  }
+  return scenario->run();
 }
 
 }  // namespace mstc::runner

@@ -9,11 +9,20 @@
 #pragma once
 
 #include "metrics/aggregate.hpp"
+#include "obs/probe.hpp"
 #include "runner/config.hpp"
 
 namespace mstc::runner {
 
 /// Runs one scenario to completion; deterministic in (config, config.seed).
 [[nodiscard]] metrics::RunStats run_scenario(const ScenarioConfig& config);
+
+/// Same, recording counters, trace events, histograms and wall-clock
+/// profiling into `observation` (see docs/OBSERVABILITY.md for the
+/// catalogue). Passing null behaves exactly like the plain overload; the
+/// returned stats are byte-identical either way — observation never feeds
+/// back into simulation state.
+[[nodiscard]] metrics::RunStats run_scenario(const ScenarioConfig& config,
+                                             obs::RunObservation* observation);
 
 }  // namespace mstc::runner

@@ -1,5 +1,9 @@
 #include "runner/sweep.hpp"
 
+#include <atomic>
+#include <mutex>
+
+#include "obs/profile.hpp"
 #include "runner/scenario.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
@@ -8,29 +12,73 @@ namespace mstc::runner {
 
 std::vector<metrics::RunStats> run_batch_raw(
     const std::vector<ScenarioConfig>& configs, std::size_t repeats,
-    util::ThreadPool& pool) {
+    util::ThreadPool& pool, const SweepHooks& hooks) {
   const std::size_t total = configs.size() * repeats;
   std::vector<metrics::RunStats> results(total);
+
+  obs::RunObservation* slots = nullptr;
+  if (hooks.observations != nullptr) {
+    hooks.observations->assign(total, obs::RunObservation{});
+    for (obs::RunObservation& slot : *hooks.observations) {
+      slot.trace_on = hooks.trace;
+      slot.profile_on = hooks.profile;
+    }
+    slots = hooks.observations->data();
+  }
+
+  // Progress plumbing. The counter is the only cross-task shared state;
+  // the callback itself is serialized so user code needs no locking.
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+  const bool report = static_cast<bool>(hooks.on_progress);
+  const std::uint64_t wall_start = report ? obs::wall_now_ns() : 0;
+
   util::parallel_for(pool, total, [&](std::size_t task) {
     const std::size_t config_index = task / repeats;
     const std::size_t replication = task % repeats;
     ScenarioConfig cfg = configs[config_index];
     cfg.seed = util::derive_seed(cfg.seed, replication + 1);
-    results[task] = run_scenario(cfg);
+    results[task] =
+        run_scenario(cfg, slots != nullptr ? &slots[task] : nullptr);
+    if (report) {
+      const std::size_t done = completed.fetch_add(1) + 1;
+      SweepProgress progress;
+      progress.completed = done;
+      progress.total = total;
+      progress.elapsed_seconds =
+          static_cast<double>(obs::wall_now_ns() - wall_start) * 1e-9;
+      progress.eta_seconds =
+          progress.elapsed_seconds / static_cast<double>(done) *
+          static_cast<double>(total - done);
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      hooks.on_progress(progress);
+    }
   });
   return results;
 }
 
-std::vector<metrics::RunAggregator> run_batch(
+std::vector<metrics::RunStats> run_batch_raw(
     const std::vector<ScenarioConfig>& configs, std::size_t repeats,
     util::ThreadPool& pool) {
+  return run_batch_raw(configs, repeats, pool, SweepHooks{});
+}
+
+std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool, const SweepHooks& hooks) {
   const std::vector<metrics::RunStats> results =
-      run_batch_raw(configs, repeats, pool);
+      run_batch_raw(configs, repeats, pool, hooks);
   std::vector<metrics::RunAggregator> aggregated(configs.size());
   for (std::size_t task = 0; task < results.size(); ++task) {
     aggregated[task / repeats].add(results[task]);
   }
   return aggregated;
+}
+
+std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool) {
+  return run_batch(configs, repeats, pool, SweepHooks{});
 }
 
 std::vector<metrics::RunAggregator> run_batch(
@@ -41,6 +89,12 @@ std::vector<metrics::RunAggregator> run_batch(
 metrics::RunAggregator run_repeated(const ScenarioConfig& base,
                                     std::size_t repeats) {
   return run_batch({base}, repeats).front();
+}
+
+metrics::RunAggregator run_repeated(const ScenarioConfig& base,
+                                    std::size_t repeats,
+                                    const SweepHooks& hooks) {
+  return run_batch({base}, repeats, util::global_pool(), hooks).front();
 }
 
 }  // namespace mstc::runner

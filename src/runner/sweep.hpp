@@ -11,15 +11,52 @@
 #include <vector>
 
 #include "metrics/aggregate.hpp"
+#include "obs/probe.hpp"
 #include "runner/config.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mstc::runner {
 
+/// Progress of a sweep, passed to SweepHooks::on_progress after every
+/// completed replication.
+struct SweepProgress {
+  std::size_t completed = 0;  ///< replications finished so far
+  std::size_t total = 0;      ///< configs x repeats
+  double elapsed_seconds = 0.0;
+  /// Naive remaining-time estimate (elapsed / completed * remaining);
+  /// 0 until the first replication finishes.
+  double eta_seconds = 0.0;
+};
+
+/// Optional observability for a sweep. Default-constructed hooks are
+/// complete no-ops: the sweep runs exactly the un-hooked code path.
+struct SweepHooks {
+  /// Called after every completed replication. Invocations are serialized
+  /// (a mutex), but arrive from worker threads in completion order — do
+  /// not touch sweep results from inside. Wall-clock fields make this
+  /// callback's *timing* non-deterministic; the sweep results stay a pure
+  /// function of (configs, repeats).
+  std::function<void(const SweepProgress&)> on_progress;
+  /// When non-null, resized to configs.size() x repeats; replication r of
+  /// configs[i] records into slot i * repeats + r (same layout as
+  /// run_batch_raw results). Slot-per-task writes keep the sweep
+  /// race-free and deterministic.
+  std::vector<obs::RunObservation>* observations = nullptr;
+  bool trace = false;    ///< record per-event traces into the slots
+  bool profile = false;  ///< record wall-clock profiling into the slots
+};
+
 /// Runs `repeats` replications of `base` (seeds derived from base.seed) in
 /// parallel and aggregates the per-run means.
 [[nodiscard]] metrics::RunAggregator run_repeated(const ScenarioConfig& base,
                                                   std::size_t repeats);
+
+/// Same, with sweep observability (progress callback and/or per-run
+/// counter, trace and profiling slots). Results are byte-identical to the
+/// un-hooked overload.
+[[nodiscard]] metrics::RunAggregator run_repeated(const ScenarioConfig& base,
+                                                  std::size_t repeats,
+                                                  const SweepHooks& hooks);
 
 /// Runs a whole batch of independent configurations, each repeated
 /// `repeats` times, parallelizing over (configuration x replication).
@@ -34,11 +71,23 @@ namespace mstc::runner {
     const std::vector<ScenarioConfig>& configs, std::size_t repeats,
     util::ThreadPool& pool);
 
+/// Same, with sweep observability; results are byte-identical to the
+/// un-hooked overload (asserted by the determinism suite).
+[[nodiscard]] std::vector<metrics::RunAggregator> run_batch(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool, const SweepHooks& hooks);
+
 /// Per-replication raw results for configs[i], replication r at index
 /// i * repeats + r; the building block of run_batch exposed so tests can
 /// byte-compare unaggregated outputs across pool sizes.
 [[nodiscard]] std::vector<metrics::RunStats> run_batch_raw(
     const std::vector<ScenarioConfig>& configs, std::size_t repeats,
     util::ThreadPool& pool);
+
+/// Same, with sweep observability; the returned stats are byte-identical
+/// with hooks on or off.
+[[nodiscard]] std::vector<metrics::RunStats> run_batch_raw(
+    const std::vector<ScenarioConfig>& configs, std::size_t repeats,
+    util::ThreadPool& pool, const SweepHooks& hooks);
 
 }  // namespace mstc::runner

@@ -20,6 +20,9 @@ void Medium::receivers(NodeId sender, double range, double t,
       out.push_back(node);
     }
   }
+  if (probe_ != nullptr) {
+    probe_->count_node(obs::Counter::kMediumDeliveries, sender, out.size());
+  }
 }
 
 void Medium::positions(double t, std::vector<geom::Vec2>& out) const {

@@ -13,6 +13,7 @@
 
 #include "geom/vec2.hpp"
 #include "mobility/trace.hpp"
+#include "obs/probe.hpp"
 
 namespace mstc::sim {
 
@@ -44,6 +45,10 @@ class Medium {
     return geom::distance(position(a, t), position(b, t));
   }
 
+  /// Attaches an observability probe (counts receiver-set deliveries).
+  /// The probe must outlive the medium; null detaches.
+  void set_probe(const obs::Probe* probe) noexcept { probe_ = probe; }
+
   /// Nodes other than `sender` within `range` (inclusive) of the sender's
   /// position at time `t`, written into `out` (cleared first).
   void receivers(NodeId sender, double range, double t,
@@ -61,6 +66,7 @@ class Medium {
  private:
   std::span<const mobility::Trace> traces_;
   Config config_;
+  const obs::Probe* probe_ = nullptr;
 };
 
 }  // namespace mstc::sim

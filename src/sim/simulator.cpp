@@ -17,6 +17,7 @@ void Simulator::run_until(Time end) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.time;
+    current_sequence_ = event.sequence;
     ++processed_;
     event.handler();
   }
@@ -28,6 +29,7 @@ void Simulator::run_all() {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.time;
+    current_sequence_ = event.sequence;
     ++processed_;
     event.handler();
   }

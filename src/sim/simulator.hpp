@@ -38,8 +38,26 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();
   }
+  /// Number of handlers that have STARTED executing, including the one
+  /// currently running. Note this is a count, not an identity: from inside
+  /// a handler it cannot distinguish simultaneous events (several handlers
+  /// at the same sim-time each see a different count, but the count says
+  /// nothing about schedule order). Use current_sequence() for that.
   [[nodiscard]] std::uint64_t processed_events() const noexcept {
     return processed_;
+  }
+
+  /// Sequence number of the event whose handler is currently executing
+  /// (meaningful only from inside a handler; 0 before the first event).
+  ///
+  /// Tie-break contract: events are ordered by (time, sequence), where
+  /// sequence is the global schedule_at/schedule_in call order — FIFO among
+  /// simultaneous events. Within one sim-time instant current_sequence()
+  /// is therefore strictly increasing across handlers, giving observers
+  /// (e.g. the obs trace sink) a stable total order over records that
+  /// share a timestamp.
+  [[nodiscard]] std::uint64_t current_sequence() const noexcept {
+    return current_sequence_;
   }
 
  private:
@@ -59,6 +77,7 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t current_sequence_ = 0;
 };
 
 }  // namespace mstc::sim

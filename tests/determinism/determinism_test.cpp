@@ -125,6 +125,31 @@ TEST(Determinism, GlobalPoolBatchMatchesSerial) {
             std::bit_cast<std::uint64_t>(manual.control_tx().mean()));
 }
 
+TEST(Determinism, ObservationOnDoesNotChangeResults) {
+  // The observability layer's core contract: attaching counters, tracing
+  // and profiling to every replication must leave the simulation outputs
+  // byte-identical — observation never feeds back into simulation state.
+  const auto configs = representative_configs();
+  util::ThreadPool pool(3);
+  const auto plain = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  std::vector<obs::RunObservation> observations;
+  SweepHooks hooks;
+  hooks.observations = &observations;
+  hooks.trace = true;
+  hooks.profile = true;
+  const auto observed =
+      bit_snapshot(run_batch_raw(configs, kRepeats, pool, hooks));
+
+  ASSERT_EQ(observed, plain)
+      << "tracing/profiling changed simulation results";
+  ASSERT_EQ(observations.size(), configs.size() * kRepeats);
+  for (const auto& observation : observations) {
+    EXPECT_GT(observation.counters.total(obs::Counter::kHelloTx), 0u);
+    EXPECT_FALSE(observation.trace.empty());
+  }
+}
+
 TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {
   // Pool reuse across batches must not leak state between sweeps.
   const auto configs = representative_configs();

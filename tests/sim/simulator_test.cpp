@@ -34,6 +34,46 @@ TEST(Simulator, SimultaneousEventsAreFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(Simulator, CurrentSequenceTracksExecutingEvent) {
+  Simulator simulator;
+  std::vector<std::uint64_t> sequences;
+  // Three simultaneous events: sequence is the schedule-call order, and
+  // current_sequence() must expose exactly the executing event's number.
+  for (int i = 0; i < 3; ++i) {
+    simulator.schedule_at(1.0, [&] {
+      sequences.push_back(simulator.current_sequence());
+    });
+  }
+  simulator.schedule_at(2.0, [&] {
+    sequences.push_back(simulator.current_sequence());
+  });
+  simulator.run_all();
+  ASSERT_EQ(sequences.size(), 4u);
+  EXPECT_EQ(sequences, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  // After the run, the accessor keeps the last executed sequence.
+  EXPECT_EQ(simulator.current_sequence(), 3u);
+}
+
+TEST(Simulator, CurrentSequenceOrdersNestedSchedules) {
+  Simulator simulator;
+  std::vector<std::uint64_t> order;
+  simulator.schedule_at(1.0, [&] {
+    order.push_back(simulator.current_sequence());
+    // Scheduled mid-run at an already-passed tie time: still FIFO after
+    // every previously scheduled t=1 event.
+    simulator.schedule_at(1.0, [&] {
+      order.push_back(simulator.current_sequence());
+    });
+  });
+  simulator.schedule_at(1.0, [&] {
+    order.push_back(simulator.current_sequence());
+  });
+  simulator.run_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_LT(order[0], order[1]);
+  EXPECT_LT(order[1], order[2]);
+}
+
 TEST(Simulator, ClockAdvancesToEventTime) {
   Simulator simulator;
   double observed = -1.0;

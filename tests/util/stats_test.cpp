@@ -116,6 +116,81 @@ TEST(Summarize, SpanOverload) {
   EXPECT_DOUBLE_EQ(s.mean(), 2.5);
 }
 
+TEST(Summary, EmptyCiHasInfiniteHalfWidth) {
+  const Summary s;
+  const ConfidenceInterval ci = s.ci95();
+  EXPECT_EQ(ci.mean, 0.0);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+  // An all-encompassing interval contains everything.
+  EXPECT_TRUE(ci.contains(0.0));
+  EXPECT_TRUE(ci.contains(1e300));
+  // Extremes of an empty stream are the identity elements.
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_GT(s.min(), 0.0);
+  EXPECT_TRUE(std::isinf(s.max()));
+  EXPECT_LT(s.max(), 0.0);
+  EXPECT_EQ(s.total(), 0.0);
+}
+
+TEST(Summary, SingleSampleCiHasInfiniteHalfWidth) {
+  Summary s;
+  s.add(3.5);
+  const ConfidenceInterval ci = s.ci95();
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+  EXPECT_TRUE(ci.contains(3.5));
+  EXPECT_TRUE(ci.contains(-1e9));
+}
+
+TEST(Summary, ConstantStreamHasZeroSpread) {
+  Summary s;
+  for (int i = 0; i < 1000; ++i) s.add(2.25);  // exactly representable
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  const ConfidenceInterval ci = s.ci95();
+  EXPECT_DOUBLE_EQ(ci.mean, 2.25);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(2.25));
+  EXPECT_FALSE(ci.contains(2.2500001));
+  EXPECT_DOUBLE_EQ(s.min(), 2.25);
+  EXPECT_DOUBLE_EQ(s.max(), 2.25);
+}
+
+TEST(Summary, InfiniteSamplePropagatesToMeanAndExtremes) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Summary s;
+  s.add(1.0);
+  s.add(inf);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(std::isinf(s.mean()));
+  EXPECT_GT(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_TRUE(std::isinf(s.max()));
+  // Welford's m2 update multiplies inf by nan-producing differences: the
+  // variance is no longer meaningful, but it must not be negative or trap.
+  EXPECT_FALSE(s.variance() < 0.0);
+
+  Summary negative;
+  negative.add(-inf);
+  EXPECT_TRUE(std::isinf(negative.min()));
+  EXPECT_LT(negative.min(), 0.0);
+  EXPECT_TRUE(std::isinf(negative.mean()));
+  EXPECT_LT(negative.mean(), 0.0);
+}
+
+TEST(TQuantile, SmallDofExactAndAsymptoticTail) {
+  // Exact table values for small degrees of freedom...
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_quantile_975(4), 2.776, 1e-3);
+  EXPECT_NEAR(t_quantile_975(19), 2.093, 1e-3);
+  // ... and the asymptotic normal multiplier far out.
+  EXPECT_NEAR(t_quantile_975(10000), 1.96, 1e-2);
+  // dof 0: nothing is known; the multiplier must make the CI infinite.
+  EXPECT_TRUE(std::isinf(t_quantile_975(0)) || t_quantile_975(0) > 100.0);
+}
+
 TEST(Median, OddAndEvenSizes) {
   EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);

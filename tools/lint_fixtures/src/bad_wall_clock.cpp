@@ -1,0 +1,31 @@
+// Fixture: wall-clock reads in library code outside src/obs/ must be
+// flagged by the `wall-clock` rule — simulation state may depend on
+// sim-time only.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace mstc::fixture {
+
+long bad_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long bad_system() {
+  using clock = std::chrono::system_clock;
+  return clock::now().time_since_epoch().count();
+}
+
+long bad_high_resolution() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+long bad_posix() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  return ts.tv_nsec + tv.tv_usec;
+}
+
+}  // namespace mstc::fixture

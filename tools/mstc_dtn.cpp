@@ -2,8 +2,13 @@
 // store-carry-forward) routing simulator.
 //
 //   mstc_dtn --nodes 40 --range 100 --speed 15 --messages 50
+//   mstc_dtn --trace dtn.trace.json --metrics-out dtn.json
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
 #include "routing/epidemic.hpp"
 #include "util/args.hpp"
 
@@ -21,7 +26,18 @@ options (defaults in brackets):
   --messages M     messages to inject                             [50]
   --duration T     simulated seconds                              [120]
   --seed S         RNG seed                                       [1]
+
+observability (all off by default; see docs/OBSERVABILITY.md):
+  --trace FILE        write a Chrome trace_event JSON (Perfetto)
+  --trace-jsonl FILE  write the event trace as JSON Lines
+  --metrics-out FILE  write a run manifest (config, counters, profile)
 )";
+
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
 
 }  // namespace
 
@@ -43,14 +59,24 @@ int main(int argc, char** argv) {
   cfg.message_count = static_cast<std::size_t>(args.get("messages", 50L));
   cfg.duration = args.get("duration", 120.0);
   cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  const std::string trace_path = args.get("trace", std::string());
+  const std::string trace_jsonl_path = args.get("trace-jsonl", std::string());
+  const std::string metrics_path = args.get("metrics-out", std::string());
   for (const auto& name : args.unknown()) {
     std::fprintf(stderr, "error: unknown option --%s (try --help)\n",
                  name.c_str());
     return 2;
   }
 
+  const bool want_trace = !trace_path.empty() || !trace_jsonl_path.empty();
+  const bool observing = want_trace || !metrics_path.empty();
+
   try {
-    const auto result = routing::run_epidemic(cfg);
+    obs::RunObservation observation;
+    observation.trace_on = want_trace;
+    observation.profile_on = !metrics_path.empty();
+    const auto result =
+        routing::run_epidemic(cfg, observing ? &observation : nullptr);
     std::printf(
         "substrate snapshot connectivity  %.3f (how partitioned the raw "
         "graph was)\n"
@@ -61,6 +87,46 @@ int main(int argc, char** argv) {
         result.delay.count() > 0 ? result.delay.mean() : 0.0,
         result.delay.count() > 0 ? result.delay.max() : 0.0,
         result.mean_copies_per_message);
+
+    if (observing) {
+      const std::vector<const obs::MemoryTraceSink*> sinks{
+          &observation.trace};
+      if (!trace_path.empty() &&
+          !obs::write_chrome_trace(trace_path, sinks)) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      if (!trace_jsonl_path.empty() &&
+          !obs::write_jsonl(trace_jsonl_path, sinks)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     trace_jsonl_path.c_str());
+        return 1;
+      }
+      if (!metrics_path.empty()) {
+        obs::Manifest manifest;
+        manifest.tool = "mstc_dtn";
+        manifest.seed = cfg.seed;
+        manifest.configurations = 1;
+        manifest.repeats = 1;
+        manifest.config = {
+            {"mobility", cfg.mobility_model},
+            {"speed", format_double(cfg.average_speed)},
+            {"nodes", std::to_string(cfg.node_count)},
+            {"range", format_double(cfg.range)},
+            {"relay_hops", std::to_string(cfg.max_relay_hops)},
+            {"buffer_limit", std::to_string(cfg.buffer_limit)},
+            {"messages", std::to_string(cfg.message_count)},
+            {"duration", format_double(cfg.duration)},
+        };
+        manifest.counters = &observation.counters;
+        manifest.profiler = &observation.profiler;
+        if (!obs::write_manifest(metrics_path, manifest)) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       metrics_path.c_str());
+          return 1;
+        }
+      }
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

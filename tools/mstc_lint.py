@@ -22,6 +22,11 @@ those invariants (see docs/DEVELOPMENT.md):
   iostream-in-lib       #include <iostream> in library code (src/). Library
                         code must not talk to std::cout/cerr; report through
                         return values and let tools/ front ends print.
+  wall-clock            direct wall-clock reads (std::chrono ...::now(),
+                        clock_gettime, gettimeofday) in library code outside
+                        src/obs/. Simulation state must depend on sim-time
+                        only; wall time flows through obs::wall_now_ns() so
+                        profiling stays an observability concern.
 
 Suppression: append ``// mstc-lint: allow(<rule>)`` to the offending line or
 place it alone on the line directly above. Suppressions are deliberate,
@@ -64,6 +69,11 @@ RULES = {
         "#include <iostream> in library code: report through return "
         "values; only tools/ front ends may print"
     ),
+    "wall-clock": (
+        "wall-clock read in library code outside src/obs/: simulation "
+        "state must depend on sim-time only; use obs::wall_now_ns() / "
+        "obs::ScopedTimer for profiling"
+    ),
 }
 
 RAW_RANDOM_RE = re.compile(
@@ -89,6 +99,11 @@ PARALLEL_REDUCE_RE = re.compile(
 )
 
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+
+WALL_CLOCK_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|"
+    r"\bclock_gettime\s*\(|\bgettimeofday\s*\("
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -162,6 +177,11 @@ def is_prng_unit(path: Path) -> bool:
     return path.name in ("prng.hpp", "prng.cpp") and "util" in path.parts
 
 
+def is_obs_unit(path: Path) -> bool:
+    """src/obs/ is the one library directory allowed to read wall clocks."""
+    return "obs" in path.parts
+
+
 def unordered_container_names(stripped: str) -> set[str]:
     """Names declared (anywhere in the file) with an unordered type."""
     names: set[str] = set()
@@ -210,6 +230,10 @@ def lint_file(path: Path) -> list[Finding]:
 
         if is_library_code(path) and IOSTREAM_RE.search(line):
             report(index, "iostream-in-lib")
+
+        if (is_library_code(path) and not is_obs_unit(path)
+                and WALL_CLOCK_RE.search(line)):
+            report(index, "wall-clock")
 
         if is_library_code(path) and unordered_names:
             for loop in RANGE_FOR_RE.finditer(line):

@@ -6,13 +6,19 @@
 //
 //   mstc_sim --protocol RNG --speed 40 --mode viewsync --buffer 10
 //            --repeats 5 --duration 30 --nodes 100
+//   mstc_sim --trace run.trace.json --metrics-out manifest.json --progress
 //   mstc_sim --help
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
 #include "util/args.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -35,7 +41,29 @@ options (defaults in brackets):
   --hello-loss P      per-reception Hello loss probability          [0]
   --repeats R         replications (95% CI over runs)               [5]
   --seed S            base RNG seed                                 [1]
+
+observability (all off by default; see docs/OBSERVABILITY.md):
+  --trace FILE        write a Chrome trace_event JSON (Perfetto /
+                      chrome://tracing; pid = replication, tid = node)
+  --trace-jsonl FILE  write the event trace as JSON Lines
+  --metrics-out FILE  write a run manifest (config, seed, build version,
+                      counter totals, histograms, wall-clock profile)
+  --progress          report sweep progress + ETA on stderr
 )";
+
+void print_progress(const mstc::runner::SweepProgress& progress) {
+  std::fprintf(stderr, "\r[%zu/%zu] %.1fs elapsed, eta %.1fs   ",
+               progress.completed, progress.total, progress.elapsed_seconds,
+               progress.eta_seconds);
+  if (progress.completed == progress.total) std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
 
 }  // namespace
 
@@ -64,6 +92,11 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
   const auto repeats = static_cast<std::size_t>(args.get("repeats", 5L));
 
+  const std::string trace_path = args.get("trace", std::string());
+  const std::string trace_jsonl_path = args.get("trace-jsonl", std::string());
+  const std::string metrics_path = args.get("metrics-out", std::string());
+  const bool progress = args.get_flag("progress");
+
   std::string mode_name = args.get("mode", std::string("latest"));
   try {
     cfg.mode = core::consistency_mode_from(mode_name);
@@ -87,8 +120,28 @@ int main(int argc, char** argv) {
       cfg.physical_neighbors ? "yes" : "no", cfg.node_count, cfg.duration,
       repeats);
 
+  const bool want_trace = !trace_path.empty() || !trace_jsonl_path.empty();
+  const bool observing = want_trace || !metrics_path.empty() || progress;
+
   try {
-    const auto agg = runner::run_repeated(cfg, repeats);
+    util::ThreadPool& pool = util::global_pool();
+    std::vector<obs::RunObservation> observations;
+    runner::SweepHooks hooks;
+    if (observing) {
+      hooks.observations = &observations;
+      hooks.trace = want_trace;
+      hooks.profile = !metrics_path.empty();
+      if (progress) hooks.on_progress = print_progress;
+    }
+
+    const std::uint64_t sweep_start = obs::wall_now_ns();
+    const std::vector<metrics::RunStats> raw =
+        runner::run_batch_raw({cfg}, repeats, pool, hooks);
+    const double sweep_wall_seconds =
+        static_cast<double>(obs::wall_now_ns() - sweep_start) * 1e-9;
+    metrics::RunAggregator agg;
+    for (const metrics::RunStats& stats : raw) agg.add(stats);
+
     const auto delivery = agg.delivery().ci95();
     std::printf(
         "connectivity (flood delivery)  %.3f ±%.3f\n"
@@ -99,6 +152,60 @@ int main(int argc, char** argv) {
         delivery.mean, delivery.half_width, agg.strict().ci95().mean,
         agg.strict().ci95().half_width, agg.range().mean(),
         agg.logical_degree().mean(), agg.physical_degree().mean());
+
+    if (observing) {
+      obs::CounterRegistry counters;
+      obs::Profiler profiler;
+      std::vector<const obs::MemoryTraceSink*> sinks;
+      sinks.reserve(observations.size());
+      for (const obs::RunObservation& observation : observations) {
+        counters.merge(observation.counters);
+        profiler.merge(observation.profiler);
+        sinks.push_back(&observation.trace);
+      }
+      if (!trace_path.empty() &&
+          !obs::write_chrome_trace(trace_path, sinks)) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      if (!trace_jsonl_path.empty() &&
+          !obs::write_jsonl(trace_jsonl_path, sinks)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     trace_jsonl_path.c_str());
+        return 1;
+      }
+      if (!metrics_path.empty()) {
+        obs::Manifest manifest;
+        manifest.tool = "mstc_sim";
+        manifest.seed = cfg.seed;
+        manifest.configurations = 1;
+        manifest.repeats = repeats;
+        manifest.config = {
+            {"protocol", cfg.protocol},
+            {"mode", mode_name},
+            {"mobility", cfg.mobility_model},
+            {"speed", format_double(cfg.average_speed)},
+            {"nodes", std::to_string(cfg.node_count)},
+            {"range", format_double(cfg.normal_range)},
+            {"duration", format_double(cfg.duration)},
+            {"hello_interval", format_double(cfg.hello_interval)},
+            {"hello_loss", format_double(cfg.hello_loss)},
+            {"buffer_width", format_double(cfg.buffer_width)},
+            {"adaptive_buffer", cfg.adaptive_buffer ? "true" : "false"},
+            {"physical_neighbors",
+             cfg.physical_neighbors ? "true" : "false"},
+        };
+        manifest.counters = &counters;
+        manifest.profiler = &profiler;
+        manifest.sweep_wall_seconds = sweep_wall_seconds;
+        manifest.pool_threads = pool.thread_count();
+        if (!obs::write_manifest(metrics_path, manifest)) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       metrics_path.c_str());
+          return 1;
+        }
+      }
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

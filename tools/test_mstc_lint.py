@@ -21,6 +21,7 @@ EXPECTATIONS = {
     "src/bad_unordered_iter.cpp": {"unordered-iteration"},
     "bad_parallel_reduce.cpp": {"parallel-float-reduce"},
     "src/bad_iostream.cpp": {"iostream-in-lib"},
+    "src/bad_wall_clock.cpp": {"wall-clock"},
     "src/good_clean.cpp": set(),
     "src/good_suppressed.cpp": set(),
 }
@@ -68,7 +69,7 @@ def main() -> int:
     if result.returncode != 0:
         failures.append("--list-rules exited nonzero")
     for rule in ("raw-random", "unordered-iteration", "parallel-float-reduce",
-                 "iostream-in-lib"):
+                 "iostream-in-lib", "wall-clock"):
         if rule not in result.stdout:
             failures.append(f"--list-rules missing '{rule}'")
 
