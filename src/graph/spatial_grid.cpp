@@ -5,10 +5,22 @@
 
 namespace mstc::graph {
 
+SpatialGrid::SpatialGrid() { start_.assign(2, 0); }
+
 SpatialGrid::SpatialGrid(std::span<const geom::Vec2> positions,
-                         double cell_size)
-    : positions_(positions.begin(), positions.end()),
-      cell_size_(cell_size > 0.0 ? cell_size : 1.0) {
+                         double cell_size) {
+  rebuild(positions, cell_size);
+}
+
+void SpatialGrid::rebuild(std::span<const geom::Vec2> positions,
+                          double cell_size) {
+  positions_.assign(positions.begin(), positions.end());
+  cell_size_ = cell_size > 0.0 ? cell_size : 1.0;
+  min_cx_ = 0;
+  min_cy_ = 0;
+  cols_ = 1;
+  rows_ = 1;
+  order_.clear();
   if (positions_.empty()) {
     start_.assign(2, 0);
     return;
@@ -27,19 +39,21 @@ SpatialGrid::SpatialGrid(std::span<const geom::Vec2> positions,
   rows_ = static_cast<long>(std::floor(max_y / cell_size_)) - min_cy_ + 1;
 
   const std::size_t cells = static_cast<std::size_t>(cols_ * rows_);
-  std::vector<std::size_t> cell_of(positions_.size());
+  cell_scratch_.resize(positions_.size());
   start_.assign(cells + 1, 0);
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     const long cx = static_cast<long>(std::floor(positions_[i].x / cell_size_));
     const long cy = static_cast<long>(std::floor(positions_[i].y / cell_size_));
-    cell_of[i] = cell_index(cx, cy);
-    ++start_[cell_of[i] + 1];
+    cell_scratch_[i] = cell_index(cx, cy);
+    ++start_[cell_scratch_[i] + 1];
   }
   for (std::size_t c = 0; c < cells; ++c) start_[c + 1] += start_[c];
   order_.resize(positions_.size());
-  std::vector<std::size_t> cursor(start_.begin(), start_.end() - 1);
+  cursor_scratch_.assign(start_.begin(), start_.end() - 1);
+  // Filling in ascending i keeps every cell's slice of order_ ascending,
+  // which query() relies on for its sorted-output guarantee.
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    order_[cursor[cell_of[i]]++] = i;
+    order_[cursor_scratch_[cell_scratch_[i]]++] = i;
   }
 }
 
@@ -72,6 +86,10 @@ void SpatialGrid::query(geom::Vec2 center, double radius,
       }
     }
   }
+  // Hits arrive grouped by cell (ascending within each cell); restore the
+  // documented global ascending-index order. The result set is small
+  // (O(density * radius^2)), so this costs far less than the scan.
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace mstc::graph

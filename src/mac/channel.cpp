@@ -85,9 +85,10 @@ void ContentionChannel::attempt(NodeId sender, double range, std::size_t bits,
   // no OTHER transmission audible at v overlaps [start, end].
   simulator_.schedule_in(
       duration, [this, tx, receive = std::move(on_receive)] {
-        std::vector<NodeId> candidates;
-        medium_.receivers(tx.sender, tx.range, tx.start, candidates);
-        for (NodeId v : candidates) {
+        // Scoring runs inside simulator events (single-threaded), so the
+        // receiver set can live in a reused member buffer.
+        medium_.receivers(tx.sender, tx.range, tx.start, receiver_buffer_);
+        for (NodeId v : receiver_buffer_) {
           const geom::Vec2 where = medium_.position(v, tx.start);
           bool collided = false;
           for (const Transmission& other : active_) {

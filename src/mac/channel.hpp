@@ -79,6 +79,7 @@ class ContentionChannel {
   Config config_;
   util::Xoshiro256 rng_;
   std::deque<Transmission> active_;  // pruned lazily; sorted by start
+  std::vector<NodeId> receiver_buffer_;  // frame-end scoring scratch
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t receptions_ = 0;

@@ -28,6 +28,12 @@ const char* counter_name(Counter counter) noexcept {
       return "flood_deliveries";
     case Counter::kMediumDeliveries:
       return "medium_deliveries";
+    case Counter::kMediumGridRebuilds:
+      return "medium_grid_rebuilds";
+    case Counter::kMediumCandidates:
+      return "medium_candidates_examined";
+    case Counter::kMediumCandidatesAccepted:
+      return "medium_candidates_accepted";
     case Counter::kCdsMarked:
       return "cds_marked";
     case Counter::kCdsPruned:

@@ -33,6 +33,9 @@ enum class Counter : std::size_t {
   kBroadcastForwards,     ///< data-flood / CDS broadcast transmissions
   kFloodDeliveries,       ///< data-flood packets accepted by a receiver
   kMediumDeliveries,      ///< receiver-set entries produced by the medium
+  kMediumGridRebuilds,    ///< spatial-index rebuilds in the medium
+  kMediumCandidates,      ///< exact distance checks performed by the medium
+  kMediumCandidatesAccepted,  ///< medium distance checks that passed
   kCdsMarked,             ///< nodes marked by the Wu-Li process
   kCdsPruned,             ///< marked nodes removed by pruning rules 1/2
   kEpidemicTransfers,     ///< epidemic copies handed to a new carrier

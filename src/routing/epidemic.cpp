@@ -182,8 +182,8 @@ class EpidemicSim {
     for (double t = 0.0; t <= cfg_.duration; t += 5.0) {
       simulator_.schedule_at(t, [this] {
         graph::Graph g(cfg_.node_count);
-        for (const auto& [u, v] :
-             medium_.links_within(cfg_.range, simulator_.now())) {
+        medium_.links_within(cfg_.range, simulator_.now(), links_buffer_);
+        for (const auto& [u, v] : links_buffer_) {
           g.add_edge(u, v);
         }
         connectivity_.add(graph::pair_connectivity_ratio(g));
@@ -203,6 +203,7 @@ class EpidemicSim {
   std::vector<Message> messages_;
   std::vector<std::vector<char>> seen_;  // per message: node has a copy
   std::vector<NodeId> contact_buffer_;
+  std::vector<std::pair<NodeId, NodeId>> links_buffer_;
   util::Summary connectivity_;
 };
 

@@ -19,6 +19,7 @@ ScenarioConfig apply_env_overrides(ScenarioConfig base) {
   base.flood_rate = util::env_or("MSTC_FLOOD_RATE", base.flood_rate);
   base.snapshot_rate = util::env_or("MSTC_SNAPSHOT_RATE", base.snapshot_rate);
   base.warmup = util::env_or("MSTC_WARMUP", base.warmup);
+  if (util::env_flag("MSTC_MEDIUM_BRUTE")) base.medium_brute_force = true;
   return base;
 }
 

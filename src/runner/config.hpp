@@ -42,6 +42,11 @@ struct ScenarioConfig {
   /// "ideal" (the paper's collision-free MAC) or "csma" (carrier sensing
   /// + collision loss; the paper's future-work realistic MAC).
   std::string mac = "ideal";
+  /// Serve medium neighbor queries with the brute-force O(n) scan instead
+  /// of the spatial index. Results are bit-identical either way (the
+  /// determinism suite asserts it); kept for differential testing and as
+  /// the bench_scale baseline. Env: MSTC_MEDIUM_BRUTE=1.
+  bool medium_brute_force = false;
 
   // --- workload & measurement ---
   double duration = 30.0;       ///< simulated seconds

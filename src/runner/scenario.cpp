@@ -56,7 +56,8 @@ class Scenario {
         traces_(mobility::generate_traces(
             *make_mobility(cfg), cfg.node_count, cfg.duration,
             util::derive_seed(cfg.seed, 0xA11CE))),
-        medium_(traces_, {.propagation_delay = kPropagationDelay}),
+        medium_(traces_, {.propagation_delay = kPropagationDelay,
+                          .brute_force = cfg.medium_brute_force}),
         suite_(topology::make_protocol(cfg.protocol)),
         beacon_rng_(util::derive_seed(cfg.seed, 0xBEAC0)),
         traffic_rng_(util::derive_seed(cfg.seed, 0x7AFF1C)),

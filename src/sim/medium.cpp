@@ -1,26 +1,87 @@
 #include "sim/medium.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace mstc::sim {
 
 Medium::Medium(std::span<const mobility::Trace> traces, Config config)
     : traces_(traces), config_(config) {
   assert(config_.propagation_delay >= 0.0);
+  assert(config_.rebuild_slack_fraction >= 0.0);
+  for (const mobility::Trace& trace : traces_) {
+    max_speed_ = std::max(max_speed_, trace.max_speed());
+  }
+}
+
+void Medium::assert_single_thread() const noexcept {
+#ifndef NDEBUG
+  if (!query_thread_set_) {
+    query_thread_ = std::this_thread::get_id();
+    query_thread_set_ = true;
+  }
+  assert(query_thread_ == std::this_thread::get_id() &&
+         "sim::Medium is per-replication: queries mutate internal caches "
+         "(spatial index, trace cursors), so each thread needs its own "
+         "traces + Medium");
+#endif
+}
+
+void Medium::ensure_grid(double range, double t) const {
+  const double slack = 2.0 * max_speed_ * std::abs(t - epoch_time_);
+  if (grid_valid_ && slack <= config_.rebuild_slack_fraction * range) return;
+  positions(t, epoch_positions_);
+  // Cell size covers the worst conservative radius before the next
+  // rebuild, so queries stay within the 3x3 neighborhood.
+  grid_.rebuild(epoch_positions_,
+                range * (1.0 + config_.rebuild_slack_fraction));
+  epoch_time_ = t;
+  grid_valid_ = true;
+  if (probe_ != nullptr) probe_->count(obs::Counter::kMediumGridRebuilds);
 }
 
 void Medium::receivers(NodeId sender, double range, double t,
                        std::vector<NodeId>& out) const {
+  assert_single_thread();
   out.clear();
-  const geom::Vec2 origin = position(sender, t);
   const double range_sq = range * range;
-  for (NodeId node = 0; node < traces_.size(); ++node) {
-    if (node == sender) continue;
-    if (geom::distance_sq(origin, position(node, t)) <= range_sq) {
-      out.push_back(node);
+  std::uint64_t checks = 0;
+  if (config_.brute_force || traces_.empty()) {
+    const geom::Vec2 origin = position(sender, t);
+    for (NodeId node = 0; node < traces_.size(); ++node) {
+      if (node == sender) continue;
+      ++checks;
+      if (geom::distance_sq(origin, position(node, t)) <= range_sq) {
+        out.push_back(node);
+      }
+    }
+  } else {
+    ensure_grid(range, t);
+    // Conservative filter: every node moved at most v_max * |t - t0| since
+    // the epoch, so any node within `range` of the sender at t lies within
+    // range + 2 * v_max * |t - t0| of the sender's position in the epoch
+    // snapshot. The exact check below then reproduces the brute-force
+    // predicate bit-for-bit; SpatialGrid::query's ascending-index order
+    // keeps the output order identical too.
+    const bool at_epoch = t == epoch_time_;
+    const geom::Vec2 origin =
+        at_epoch ? epoch_positions_[sender] : position(sender, t);
+    const double slack = 2.0 * max_speed_ * std::abs(t - epoch_time_);
+    grid_.query(origin, range + slack, candidate_buffer_);
+    for (const std::size_t node : candidate_buffer_) {
+      if (node == sender) continue;
+      ++checks;
+      const geom::Vec2 p =
+          at_epoch ? epoch_positions_[node] : position(node, t);
+      if (geom::distance_sq(origin, p) <= range_sq) {
+        out.push_back(node);
+      }
     }
   }
   if (probe_ != nullptr) {
+    probe_->count(obs::Counter::kMediumCandidates, checks);
+    probe_->count(obs::Counter::kMediumCandidatesAccepted, out.size());
     probe_->count_node(obs::Counter::kMediumDeliveries, sender, out.size());
   }
 }
@@ -32,19 +93,60 @@ void Medium::positions(double t, std::vector<geom::Vec2>& out) const {
   }
 }
 
-std::vector<std::pair<NodeId, NodeId>> Medium::links_within(double range,
-                                                            double t) const {
-  std::vector<std::pair<NodeId, NodeId>> links;
-  std::vector<geom::Vec2> pos;
-  positions(t, pos);
+void Medium::links_within(double range, double t,
+                          std::vector<std::pair<NodeId, NodeId>>& out) const {
+  assert_single_thread();
+  out.clear();
   const double range_sq = range * range;
-  for (NodeId u = 0; u < pos.size(); ++u) {
-    for (NodeId v = u + 1; v < pos.size(); ++v) {
-      if (geom::distance_sq(pos[u], pos[v]) <= range_sq) {
-        links.emplace_back(u, v);
+  std::uint64_t checks = 0;
+  if (config_.brute_force || traces_.empty()) {
+    positions(t, scratch_positions_);
+    for (NodeId u = 0; u < scratch_positions_.size(); ++u) {
+      for (NodeId v = u + 1; v < scratch_positions_.size(); ++v) {
+        ++checks;
+        if (geom::distance_sq(scratch_positions_[u], scratch_positions_[v]) <=
+            range_sq) {
+          out.emplace_back(u, v);
+        }
+      }
+    }
+  } else {
+    ensure_grid(range, t);
+    // Amortize the piecewise-linear trace evaluation: one SoA pass per
+    // call (free when t is the epoch itself — snapshot times that trigger
+    // a rebuild reuse the epoch buffer) instead of one per candidate pair.
+    if (t == epoch_time_) {
+      scratch_positions_ = epoch_positions_;
+    } else {
+      positions(t, scratch_positions_);
+    }
+    const double slack = 2.0 * max_speed_ * std::abs(t - epoch_time_);
+    const double query_radius = range + slack;
+    // Single sweep: node u scans its grid neighborhood and emits u < v
+    // pairs. Ascending u plus the grid's ascending candidate order yields
+    // exactly the brute-force double loop's lexicographic emission order.
+    for (NodeId u = 0; u < scratch_positions_.size(); ++u) {
+      grid_.query(scratch_positions_[u], query_radius, candidate_buffer_);
+      for (const std::size_t v : candidate_buffer_) {
+        if (v <= u) continue;
+        ++checks;
+        if (geom::distance_sq(scratch_positions_[u], scratch_positions_[v]) <=
+            range_sq) {
+          out.emplace_back(u, v);
+        }
       }
     }
   }
+  if (probe_ != nullptr) {
+    probe_->count(obs::Counter::kMediumCandidates, checks);
+    probe_->count(obs::Counter::kMediumCandidatesAccepted, out.size());
+  }
+}
+
+std::vector<std::pair<NodeId, NodeId>> Medium::links_within(double range,
+                                                            double t) const {
+  std::vector<std::pair<NodeId, NodeId>> links;
+  links_within(range, t, links);
   return links;
 }
 

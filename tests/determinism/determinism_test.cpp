@@ -150,6 +150,24 @@ TEST(Determinism, ObservationOnDoesNotChangeResults) {
   }
 }
 
+TEST(Determinism, GridIndexedMediumMatchesBruteForceByteForByte) {
+  // The medium's spatial index (PR 3) is an optimization with a
+  // bit-identity contract: conservative-radius candidate filtering plus
+  // exact checks must reproduce the brute-force receiver sets exactly, so
+  // whole sweeps — metrics, event ordering, everything — byte-compare
+  // across the two paths. Runs through the pool so the TSan job also
+  // covers the index's mutable caches.
+  auto configs = representative_configs();
+  util::ThreadPool pool(3);
+  const auto grid = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  for (auto& config : configs) config.medium_brute_force = true;
+  const auto brute = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  ASSERT_EQ(grid, brute)
+      << "grid-backed medium diverged from the brute-force scan";
+}
+
 TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {
   // Pool reuse across batches must not leak state between sweeps.
   const auto configs = representative_configs();

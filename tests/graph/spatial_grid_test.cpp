@@ -81,6 +81,71 @@ TEST(SpatialGrid, QueryLargerThanCellSizeStillCorrect) {
   EXPECT_EQ(out, brute_force(points, {50.0, 50.0}, 80.0));
 }
 
+TEST(SpatialGrid, QueryEmitsAscendingIndexOrder) {
+  // Documented contract (see spatial_grid.hpp): results arrive in
+  // ascending index order with NO caller-side sort — sim::Medium's
+  // bit-identical receiver sets depend on it. Deliberately unsorted
+  // comparison against brute force (which scans indices in order).
+  util::Xoshiro256 rng(57);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Vec2> points;
+    const std::size_t n = 100 + rng.uniform_below(300);
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({rng.uniform(0.0, 600.0), rng.uniform(0.0, 600.0)});
+    }
+    const SpatialGrid grid(points, 80.0);
+    std::vector<std::size_t> out;
+    for (int q = 0; q < 25; ++q) {
+      const Vec2 center{rng.uniform(0.0, 600.0), rng.uniform(0.0, 600.0)};
+      const double radius = rng.uniform(20.0, 250.0);
+      grid.query(center, radius, out);
+      EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+      EXPECT_EQ(out, brute_force(points, center, radius));
+    }
+  }
+}
+
+TEST(SpatialGrid, RebuildMatchesFreshConstruction) {
+  util::Xoshiro256 rng(58);
+  SpatialGrid reused;  // default-constructed: empty until rebuilt
+  std::vector<std::size_t> out;
+  reused.query({0.0, 0.0}, 1e9, out);
+  EXPECT_TRUE(out.empty());
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Vec2> points;
+    const std::size_t n = 20 + rng.uniform_below(150);
+    const double extent = rng.uniform(50.0, 800.0);
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+    }
+    const double cell = rng.uniform(10.0, 200.0);
+    reused.rebuild(points, cell);
+    const SpatialGrid fresh(points, cell);
+    EXPECT_EQ(reused.point_count(), n);
+    std::vector<std::size_t> fresh_out;
+    for (int q = 0; q < 10; ++q) {
+      const Vec2 center{rng.uniform(0.0, extent), rng.uniform(0.0, extent)};
+      const double radius = rng.uniform(5.0, extent);
+      reused.query(center, radius, out);
+      fresh.query(center, radius, fresh_out);
+      EXPECT_EQ(out, fresh_out);
+      EXPECT_EQ(out, brute_force(points, center, radius));
+    }
+  }
+
+  // Shrinking to empty and growing again must both work in place.
+  reused.rebuild({}, 10.0);
+  reused.query({0.0, 0.0}, 1e9, out);
+  EXPECT_TRUE(out.empty());
+  const std::vector<Vec2> one = {{1.0, 2.0}};
+  reused.rebuild(one, 10.0);
+  reused.query({1.0, 2.0}, 0.0, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+}
+
 TEST(SpatialGrid, NegativeCoordinatesSupported) {
   const std::vector<Vec2> points = {{-100.0, -100.0}, {100.0, 100.0}};
   const SpatialGrid grid(points, 50.0);
