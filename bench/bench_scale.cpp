@@ -15,7 +15,10 @@
 //   ./build/bench/bench_scale --smoke         # CI guard: tiny n, asserts
 //                                             #   grid <= brute checks,
 //                                             #   rebuilds > 0, identical
-//                                             #   receiver sets; no JSON
+//                                             #   receiver sets, and that
+//                                             #   the default config routes
+//                                             #   tiny fleets to brute
+//                                             #   (grid_min_nodes); no JSON
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -57,11 +60,11 @@ struct ModeResult {
 
 /// Runs the beacon+snapshot workload through one medium configuration.
 ModeResult run_mode(const std::vector<mstc::mobility::Trace>& traces,
-                    bool brute_force) {
+                    const Medium::Config& config) {
   ModeResult result;
   mstc::obs::RunObservation observation;
   const mstc::obs::Probe probe(&observation);
-  Medium medium(traces, {.brute_force = brute_force});
+  Medium medium(traces, config);
   medium.set_probe(&probe);
 
   std::uint64_t hash = 1469598103934665603ull;
@@ -110,6 +113,14 @@ struct ScalePoint {
   double side = 0.0;
   ModeResult brute;
   ModeResult grid;
+  // Default config: Medium picks brute vs. grid via grid_min_nodes. The
+  // crossover guard checks this auto choice tracks the faster path.
+  ModeResult auto_mode;
+
+  [[nodiscard]] bool identical() const {
+    return brute.checksum == grid.checksum &&
+           brute.checksum == auto_mode.checksum;
+  }
 };
 
 ScalePoint run_point(std::size_t nodes) {
@@ -123,8 +134,9 @@ ScalePoint run_point(std::size_t nodes) {
       {point.side, point.side}, kSpeed);
   const auto traces = mstc::mobility::generate_traces(
       *model, nodes, kDuration, mstc::util::derive_seed(kSeed, nodes));
-  point.brute = run_mode(traces, /*brute_force=*/true);
-  point.grid = run_mode(traces, /*brute_force=*/false);
+  point.brute = run_mode(traces, {.brute_force = true});
+  point.grid = run_mode(traces, {.grid_min_nodes = 0});  // index forced on
+  point.auto_mode = run_mode(traces, {});
   return point;
 }
 
@@ -140,11 +152,11 @@ void print_point(const ScalePoint& p) {
   std::printf(
       "n=%5zu  brute %8.1f ms (%12" PRIu64
       " checks)  grid %8.1f ms (%10" PRIu64 " checks, %3" PRIu64
-      " rebuilds)  speedup %5.1fx  checks/ %5.1fx  %s\n",
+      " rebuilds)  speedup %5.1fx  checks/ %5.1fx  auto=%s  %s\n",
       p.nodes, p.brute.wall_seconds * 1e3, p.brute.distance_checks,
       p.grid.wall_seconds * 1e3, p.grid.distance_checks, p.grid.rebuilds,
-      speedup, check_ratio,
-      p.brute.checksum == p.grid.checksum ? "identical" : "DIVERGED");
+      speedup, check_ratio, p.auto_mode.rebuilds > 0 ? "grid" : "brute",
+      p.identical() ? "identical" : "DIVERGED");
 }
 
 void append_mode_json(std::string& json, const char* name,
@@ -195,12 +207,16 @@ bool write_json(const std::string& path,
     json += ",\n";
     append_mode_json(json, "grid", p.grid);
     json += ",\n";
+    append_mode_json(json, "auto", p.auto_mode);
+    json += ",\n";
     std::snprintf(buffer, sizeof(buffer),
                   "      \"wall_speedup\": %.2f, "
                   "\"distance_check_reduction\": %.2f, "
+                  "\"auto_picked\": \"%s\", "
                   "\"results_identical\": %s}",
                   speedup, check_ratio,
-                  p.brute.checksum == p.grid.checksum ? "true" : "false");
+                  p.auto_mode.rebuilds > 0 ? "grid" : "brute",
+                  p.identical() ? "true" : "false");
     json += buffer;
     json += i + 1 < points.size() ? ",\n" : "\n";
   }
@@ -218,8 +234,17 @@ int run_smoke() {
   for (const std::size_t nodes : {64ul, 128ul}) {
     const ScalePoint p = run_point(nodes);
     print_point(p);
-    if (p.brute.checksum != p.grid.checksum) {
-      std::fprintf(stderr, "FAIL n=%zu: grid result sets diverged\n",
+    if (!p.identical()) {
+      std::fprintf(stderr, "FAIL n=%zu: result sets diverged across paths\n",
+                   p.nodes);
+      ++failures;
+    }
+    // Crossover guard: tiny fleets sit below grid_min_nodes, so the
+    // default config must route them to the brute path.
+    if (p.auto_mode.rebuilds != 0) {
+      std::fprintf(stderr,
+                   "FAIL n=%zu: default config built the grid below the "
+                   "grid_min_nodes crossover\n",
                    p.nodes);
       ++failures;
     }

@@ -13,16 +13,22 @@ namespace {
 /// (owner first). Owner-neighbor links always exist (the neighbor was
 /// heard); neighbor-neighbor links exist only when their viewed distance
 /// can be certified <= normal_range (max over version combinations).
-topology::ViewGraph assemble(
-    NodeId owner, const std::vector<NodeId>& ids,
-    const std::vector<std::vector<topology::VersionedPosition>>& versions,
-    double normal_range, const topology::CostModel& cost) {
+///
+/// Reads only the `.position` of each record — together with the member
+/// ids this makes the assembled view (and, by protocol purity, the
+/// selection) an exact function of (ids, position bits, normal_range,
+/// cost), which is what the controller's recompute cache fingerprints.
+void assemble(
+    NodeId owner, std::span<const NodeId> ids,
+    std::span<const std::span<const topology::VersionedPosition>> versions,
+    double normal_range, const topology::CostModel& cost,
+    topology::ViewGraph& out) {
   assert(!ids.empty() && ids[0] == owner);
-  topology::ViewGraph view(owner, ids.size() - 1);
+  out.reset(owner, ids.size() - 1);
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    view.set_id(i, ids[i]);
+    out.set_id(i, ids[i]);
     // Representative: the newest stored position (front).
-    view.set_representative(i, versions[i].front().position);
+    out.set_representative(i, versions[i].front().position);
   }
   for (std::size_t i = 0; i < ids.size(); ++i) {
     for (std::size_t j = i + 1; j < ids.size(); ++j) {
@@ -38,12 +44,11 @@ topology::ViewGraph assemble(
       // Owner-neighbor links exist by virtue of the received Hello;
       // neighbor-neighbor links must certainly be within range.
       if (i != 0 && d_max > normal_range) continue;
-      view.set_link(i, j, d_min, d_max,
-                    topology::CostKey::make(cost.cost(d_min), ids[i], ids[j]),
-                    topology::CostKey::make(cost.cost(d_max), ids[i], ids[j]));
+      out.set_link(i, j, d_min, d_max,
+                   topology::CostKey::make(cost.cost(d_min), ids[i], ids[j]),
+                   topology::CostKey::make(cost.cost(d_max), ids[i], ids[j]));
     }
   }
-  return view;
 }
 
 }  // namespace
@@ -73,55 +78,95 @@ ConsistencyMode consistency_mode_from(std::string_view name) {
   throw std::invalid_argument("unknown consistency mode: " + std::string(name));
 }
 
+void build_latest_view(const LocalViewStore& store, double normal_range,
+                       const topology::CostModel& cost, ViewScratch& scratch,
+                       topology::ViewGraph& out) {
+  scratch.ids.clear();
+  scratch.versions.clear();
+  const auto own = store.records(store.owner());
+  assert(!own.empty() && "owner must have advertised at least once");
+  scratch.ids.push_back(store.owner());
+  scratch.versions.push_back(own.first(1));  // newest record only
+  store.neighbors(scratch.neighbors);
+  for (NodeId neighbor : scratch.neighbors) {
+    const auto records = store.records(neighbor);
+    if (records.empty()) continue;
+    scratch.ids.push_back(neighbor);
+    scratch.versions.push_back(records.first(1));
+  }
+  assemble(store.owner(), scratch.ids, scratch.versions, normal_range, cost,
+           out);
+}
+
 topology::ViewGraph build_latest_view(const LocalViewStore& store,
                                       double normal_range,
                                       const topology::CostModel& cost) {
-  std::vector<NodeId> ids{store.owner()};
-  std::vector<std::vector<topology::VersionedPosition>> versions;
-  const auto own = store.latest(store.owner());
-  assert(own.has_value() && "owner must have advertised at least once");
-  versions.push_back({*own});
-  for (NodeId neighbor : store.neighbors()) {
-    const auto record = store.latest(neighbor);
-    if (!record) continue;
-    ids.push_back(neighbor);
-    versions.push_back({*record});
+  ViewScratch scratch;
+  topology::ViewGraph view;
+  build_latest_view(store, normal_range, cost, scratch, view);
+  return view;
+}
+
+bool build_versioned_view(const LocalViewStore& store, std::uint64_t version,
+                          double normal_range, const topology::CostModel& cost,
+                          ViewScratch& scratch, topology::ViewGraph& out) {
+  const auto own = store.record_at(store.owner(), version);
+  if (own.empty()) return false;
+  scratch.ids.clear();
+  scratch.versions.clear();
+  scratch.ids.push_back(store.owner());
+  scratch.versions.push_back(own);
+  store.neighbors(scratch.neighbors);
+  for (NodeId neighbor : scratch.neighbors) {
+    const auto record = store.record_at(neighbor, version);
+    if (record.empty()) continue;
+    scratch.ids.push_back(neighbor);
+    scratch.versions.push_back(record);
   }
-  return assemble(store.owner(), ids, versions, normal_range, cost);
+  assemble(store.owner(), scratch.ids, scratch.versions, normal_range, cost,
+           out);
+  return true;
 }
 
 std::optional<topology::ViewGraph> build_versioned_view(
     const LocalViewStore& store, std::uint64_t version, double normal_range,
     const topology::CostModel& cost) {
-  const auto own = store.at_version(store.owner(), version);
-  if (!own) return std::nullopt;
-  std::vector<NodeId> ids{store.owner()};
-  std::vector<std::vector<topology::VersionedPosition>> versions;
-  versions.push_back({*own});
-  for (NodeId neighbor : store.neighbors()) {
-    const auto record = store.at_version(neighbor, version);
-    if (!record) continue;
-    ids.push_back(neighbor);
-    versions.push_back({*record});
+  ViewScratch scratch;
+  topology::ViewGraph view;
+  if (!build_versioned_view(store, version, normal_range, cost, scratch,
+                            view)) {
+    return std::nullopt;
   }
-  return assemble(store.owner(), ids, versions, normal_range, cost);
+  return view;
+}
+
+void build_weak_view(const LocalViewStore& store, double normal_range,
+                     const topology::CostModel& cost, ViewScratch& scratch,
+                     topology::ViewGraph& out) {
+  scratch.ids.clear();
+  scratch.versions.clear();
+  const auto own = store.records(store.owner());
+  assert(!own.empty() && "owner must have advertised at least once");
+  scratch.ids.push_back(store.owner());
+  scratch.versions.push_back(own);  // full history: the interval view
+  store.neighbors(scratch.neighbors);
+  for (NodeId neighbor : scratch.neighbors) {
+    const auto records = store.records(neighbor);
+    if (records.empty()) continue;
+    scratch.ids.push_back(neighbor);
+    scratch.versions.push_back(records);
+  }
+  assemble(store.owner(), scratch.ids, scratch.versions, normal_range, cost,
+           out);
 }
 
 topology::ViewGraph build_weak_view(const LocalViewStore& store,
                                     double normal_range,
                                     const topology::CostModel& cost) {
-  std::vector<NodeId> ids{store.owner()};
-  std::vector<std::vector<topology::VersionedPosition>> versions;
-  versions.push_back(store.history(store.owner()));
-  assert(!versions.front().empty() &&
-         "owner must have advertised at least once");
-  for (NodeId neighbor : store.neighbors()) {
-    auto history = store.history(neighbor);
-    if (history.empty()) continue;
-    ids.push_back(neighbor);
-    versions.push_back(std::move(history));
-  }
-  return assemble(store.owner(), ids, versions, normal_range, cost);
+  ViewScratch scratch;
+  topology::ViewGraph view;
+  build_weak_view(store, normal_range, cost, scratch, view);
+  return view;
 }
 
 double delay_bound(ConsistencyMode mode, double hello_interval,

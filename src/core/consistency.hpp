@@ -20,8 +20,10 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/view_store.hpp"
 #include "topology/cost.hpp"
@@ -30,6 +32,16 @@
 namespace mstc::core {
 
 enum class ConsistencyMode { kLatest, kViewSync, kProactive, kReactive, kWeak };
+
+/// Reusable buffers for the out-param view builders below. The spans
+/// borrow the store's internal record vectors, so a ViewScratch is only
+/// meaningful during one build; after the warmup neighborhood has been
+/// seen, rebuilding a view through the same scratch allocates nothing.
+struct ViewScratch {
+  std::vector<NodeId> ids;
+  std::vector<std::span<const topology::VersionedPosition>> versions;
+  std::vector<NodeId> neighbors;
+};
 
 [[nodiscard]] std::string_view to_string(ConsistencyMode mode);
 [[nodiscard]] ConsistencyMode consistency_mode_from(std::string_view name);
@@ -40,12 +52,26 @@ enum class ConsistencyMode { kLatest, kViewSync, kProactive, kReactive, kWeak };
     const LocalViewStore& store, double normal_range,
     const topology::CostModel& cost);
 
+/// Allocation-free overload: assembles into `out` via `scratch`.
+void build_latest_view(const LocalViewStore& store, double normal_range,
+                       const topology::CostModel& cost, ViewScratch& scratch,
+                       topology::ViewGraph& out);
+
 /// Single-version view pinned to `version`: only nodes with a stored
 /// record of exactly that version participate (Theorem 2's |M(t, v)| = 1).
 /// Returns nullopt when the owner itself has no record of that version.
 [[nodiscard]] std::optional<topology::ViewGraph> build_versioned_view(
     const LocalViewStore& store, std::uint64_t version, double normal_range,
     const topology::CostModel& cost);
+
+/// Allocation-free overload: returns false (leaving `out` untouched) when
+/// the owner has no record of `version`.
+[[nodiscard]] bool build_versioned_view(const LocalViewStore& store,
+                                        std::uint64_t version,
+                                        double normal_range,
+                                        const topology::CostModel& cost,
+                                        ViewScratch& scratch,
+                                        topology::ViewGraph& out);
 
 /// Interval view over every stored record (weak consistency): per link,
 /// the distance/cost interval spans all version combinations of the two
@@ -55,6 +81,11 @@ enum class ConsistencyMode { kLatest, kViewSync, kProactive, kReactive, kWeak };
 [[nodiscard]] topology::ViewGraph build_weak_view(
     const LocalViewStore& store, double normal_range,
     const topology::CostModel& cost);
+
+/// Allocation-free overload: assembles into `out` via `scratch`.
+void build_weak_view(const LocalViewStore& store, double normal_range,
+                     const topology::CostModel& cost, ViewScratch& scratch,
+                     topology::ViewGraph& out);
 
 /// The paper's maximal time delay Delta'' (Section 4.3): the age bound of
 /// the oldest Hello a current local view can depend on, per mode.

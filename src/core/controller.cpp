@@ -1,8 +1,26 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 
 namespace mstc::core {
+
+namespace {
+
+// View-kind tags for build_cache_key. Mode is fixed per controller, but
+// tagging keeps versioned and unversioned keys from ever colliding.
+constexpr std::uint64_t kKeyLatest = 1;
+constexpr std::uint64_t kKeyWeak = 2;
+constexpr std::uint64_t kKeyVersioned = 3;
+
+void fold_position(const topology::VersionedPosition& record,
+                   std::vector<std::uint64_t>& key) {
+  key.push_back(std::bit_cast<std::uint64_t>(record.position.x));
+  key.push_back(std::bit_cast<std::uint64_t>(record.position.y));
+}
+
+}  // namespace
 
 NodeController::NodeController(NodeId id, const topology::Protocol& protocol,
                                const topology::CostModel& cost,
@@ -54,11 +72,26 @@ void NodeController::refresh_selection(double now) {
   if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
   if (!store_.latest(id_)) return;  // nothing advertised yet
-  if (config_.mode == ConsistencyMode::kWeak) {
-    apply_selection(build_weak_view(store_, config_.normal_range, cost_), now);
+  const bool weak = config_.mode == ConsistencyMode::kWeak;
+  if (config_.recompute_cache) {
+    build_cache_key(weak ? kKeyWeak : kKeyLatest, 0, cache_key_scratch_);
+    if (cache_valid_ && cache_key_scratch_ == cache_key_) {
+      if (probe_ != nullptr) {
+        probe_->count_node(obs::Counter::kTopologyRecomputeSkips, id_);
+      }
+      return;  // same inputs => same selection; keep it as-is
+    }
+  }
+  if (weak) {
+    build_weak_view(store_, config_.normal_range, cost_, view_scratch_, view_);
   } else {
-    apply_selection(build_latest_view(store_, config_.normal_range, cost_),
-                    now);
+    build_latest_view(store_, config_.normal_range, cost_, view_scratch_,
+                      view_);
+  }
+  apply_selection(view_, now);
+  if (config_.recompute_cache) {
+    cache_key_.swap(cache_key_scratch_);
+    cache_valid_ = true;
   }
 }
 
@@ -66,9 +99,68 @@ void NodeController::refresh_selection_versioned(double now,
                                                  std::uint64_t version) {
   if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
-  const auto view =
-      build_versioned_view(store_, version, config_.normal_range, cost_);
-  if (view) apply_selection(*view, now);
+  // Owner lacking the pinned version keeps the prior selection (the
+  // paper's "wait before migrating to the next local view") and must
+  // leave the cache untouched: nothing was recomputed.
+  if (store_.record_at(id_, version).empty()) return;
+  if (config_.recompute_cache) {
+    build_cache_key(kKeyVersioned, version, cache_key_scratch_);
+    if (cache_valid_ && cache_key_scratch_ == cache_key_) {
+      if (probe_ != nullptr) {
+        probe_->count_node(obs::Counter::kTopologyRecomputeSkips, id_);
+      }
+      return;
+    }
+  }
+  if (!build_versioned_view(store_, version, config_.normal_range, cost_,
+                            view_scratch_, view_)) {
+    return;  // unreachable: the owner check above already passed
+  }
+  apply_selection(view_, now);
+  if (config_.recompute_cache) {
+    cache_key_.swap(cache_key_scratch_);
+    cache_valid_ = true;
+  }
+}
+
+void NodeController::build_cache_key(std::uint64_t tag, std::uint64_t version,
+                                     std::vector<std::uint64_t>& key) {
+  key.clear();
+  key.push_back(tag);
+  const auto fold_member = [&](NodeId member,
+                               std::span<const topology::VersionedPosition>
+                                   records) {
+    key.push_back(member);
+    key.push_back(records.size());
+    for (const auto& record : records) fold_position(record, key);
+  };
+  // The builders refill this scratch themselves on a cache miss, so
+  // borrowing it here costs nothing extra.
+  store_.neighbors(view_scratch_.neighbors);
+  switch (tag) {
+    case kKeyLatest:
+      fold_member(id_, store_.records(id_).first(1));
+      for (NodeId neighbor : view_scratch_.neighbors) {
+        const auto records = store_.records(neighbor);
+        if (!records.empty()) fold_member(neighbor, records.first(1));
+      }
+      return;
+    case kKeyWeak:
+      fold_member(id_, store_.records(id_));
+      for (NodeId neighbor : view_scratch_.neighbors) {
+        const auto records = store_.records(neighbor);
+        if (!records.empty()) fold_member(neighbor, records);
+      }
+      return;
+    case kKeyVersioned:
+      key.push_back(version);
+      fold_member(id_, store_.record_at(id_, version));
+      for (NodeId neighbor : view_scratch_.neighbors) {
+        const auto record = store_.record_at(neighbor, version);
+        if (!record.empty()) fold_member(neighbor, record);
+      }
+      return;
+  }
 }
 
 void NodeController::apply_selection(const topology::ViewGraph& view,
@@ -80,11 +172,11 @@ void NodeController::apply_selection(const topology::ViewGraph& view,
     previous_extended = extended_range();
   }
 
-  const auto chosen = protocol_.select(view);
+  protocol_.select(view, chosen_);
   logical_.clear();
-  logical_.reserve(chosen.size());
+  logical_.reserve(chosen_.size());
   actual_range_ = 0.0;
-  for (std::size_t index : chosen) {
+  for (std::size_t index : chosen_) {
     logical_.push_back(view.id(index));
     // Cover every stored position of the neighbor (conservative under
     // interval views; equals the viewed distance for point views). The

@@ -31,6 +31,12 @@ struct ControllerConfig {
   /// Accept data packets from non-logical physical neighbors (the paper's
   /// "physical neighbor" enhancement). Queried by the runner.
   bool accept_physical_neighbors = false;
+  /// Skip the protocol run when the selection's exact inputs (member ids
+  /// and position bits, post-expiry) match the previous refresh. Sound
+  /// because view assembly reads only those inputs and protocols are pure;
+  /// skips are counted as topology_recompute_skips. Disable to measure the
+  /// uncached path (MSTC_NO_RECOMPUTE_CACHE=1 at the scenario level).
+  bool recompute_cache = true;
 };
 
 class NodeController {
@@ -68,10 +74,15 @@ class NodeController {
   /// the paper's "wait before migrating to the next local view").
   void refresh_selection_versioned(double now, std::uint64_t version);
 
-  /// Sorted global ids of current logical neighbors.
+  /// Global ids of current logical neighbors, sorted ascending. Sortedness
+  /// is a documented contract, not an accident of construction: is_logical()
+  /// binary-searches this vector, and callers may merge/intersect
+  /// selections from several nodes without re-sorting. Pinned by
+  /// ControllerTest.LogicalNeighborsAreSortedAscending.
   [[nodiscard]] const std::vector<NodeId>& logical_neighbors() const noexcept {
     return logical_;
   }
+  /// Membership test over logical_neighbors(), O(log degree).
   [[nodiscard]] bool is_logical(NodeId neighbor) const;
 
   /// Actual range: distance to the farthest logical neighbor as certified
@@ -92,6 +103,13 @@ class NodeController {
  private:
   void apply_selection(const topology::ViewGraph& view, double now);
 
+  /// Fingerprints the selection's exact inputs: a tag for the view kind,
+  /// the pinned version (versioned views), and per member the id and raw
+  /// position bits of every record the assembly would read. Equal keys
+  /// imply bit-identical views and therefore identical selections.
+  void build_cache_key(std::uint64_t tag, std::uint64_t version,
+                       std::vector<std::uint64_t>& key);
+
   NodeId id_;
   const topology::Protocol& protocol_;
   const topology::CostModel& cost_;
@@ -103,6 +121,17 @@ class NodeController {
   const obs::Probe* probe_ = nullptr;
   // Scratch for link-removal diffs; allocated only while a probe counts.
   std::vector<NodeId> previous_logical_;
+  // Steady-state refreshes run allocation-free through these reusable
+  // buffers (view assembly scratch, assembled view, protocol output).
+  ViewScratch view_scratch_;
+  topology::ViewGraph view_;
+  std::vector<std::size_t> chosen_;
+  // Recompute cache: fingerprint of the last applied selection's inputs
+  // (see build_cache_key). The scratch key is built first and swapped in
+  // only after a recompute actually runs.
+  std::vector<std::uint64_t> cache_key_;
+  std::vector<std::uint64_t> cache_key_scratch_;
+  bool cache_valid_ = false;
 };
 
 }  // namespace mstc::core

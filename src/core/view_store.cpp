@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace mstc::core {
 
@@ -28,16 +29,33 @@ void LocalViewStore::record(const HelloRecord& hello) {
     history.insert(insert_at, hello.advertised);
   }
   if (history.size() > history_limit_) history.resize(history_limit_);
+  if (hello.sender != owner_) {
+    oldest_front_ = std::min(oldest_front_, history.front().send_time);
+  }
 }
 
 void LocalViewStore::expire(double now) {
   const double cutoff = now - expiry_;
+  // Fast path: every non-owner front is certainly newer than the cutoff,
+  // so the scan below would erase nothing. This check carries the hot
+  // path — expire() runs on every Hello reception and every selection
+  // refresh, and in steady state nothing is stale.
+  if (cutoff <= oldest_front_) return;
+  double oldest = std::numeric_limits<double>::infinity();
   for (auto it = entries_.begin(); it != entries_.end();) {
     const bool stale =
         it->first != owner_ &&
         (it->second.empty() || it->second.front().send_time < cutoff);
-    it = stale ? entries_.erase(it) : std::next(it);
+    if (stale) {
+      it = entries_.erase(it);
+    } else {
+      if (it->first != owner_) {
+        oldest = std::min(oldest, it->second.front().send_time);
+      }
+      ++it;
+    }
   }
+  oldest_front_ = oldest;
 }
 
 std::vector<topology::VersionedPosition> LocalViewStore::history(
@@ -45,6 +63,23 @@ std::vector<topology::VersionedPosition> LocalViewStore::history(
   const auto it = entries_.find(sender);
   return it == entries_.end() ? std::vector<topology::VersionedPosition>{}
                               : it->second;
+}
+
+std::span<const topology::VersionedPosition> LocalViewStore::records(
+    NodeId sender) const {
+  const auto it = entries_.find(sender);
+  if (it == entries_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+std::span<const topology::VersionedPosition> LocalViewStore::record_at(
+    NodeId sender, std::uint64_t version) const {
+  const auto it = entries_.find(sender);
+  if (it == entries_.end()) return {};
+  for (const auto& record : it->second) {
+    if (record.version == version) return {&record, 1};
+  }
+  return {};
 }
 
 std::optional<topology::VersionedPosition> LocalViewStore::latest(
@@ -66,17 +101,22 @@ std::optional<topology::VersionedPosition> LocalViewStore::at_version(
 
 std::vector<NodeId> LocalViewStore::neighbors() const {
   std::vector<NodeId> ids;
-  ids.reserve(entries_.size());
+  neighbors(ids);
+  return ids;
+}
+
+void LocalViewStore::neighbors(std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(entries_.size());
   // Sorted below, so the hash map's implementation-defined order is safe.
   // mstc-lint: allow(unordered-iteration)
   for (const auto& [sender, history] : entries_) {
-    if (sender != owner_ && !history.empty()) ids.push_back(sender);
+    if (sender != owner_ && !history.empty()) out.push_back(sender);
   }
   // Canonical order: entries_ is a hash map, and neighbor order flows into
   // ViewGraph node indices and therefore into tie-breaking everywhere
   // downstream. Sorting keeps runs identical across standard libraries.
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace mstc::core

@@ -8,7 +8,9 @@
 // use the *advertised* self-position, not the true current one.
 #pragma once
 
+#include <limits>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +41,17 @@ class LocalViewStore {
   [[nodiscard]] std::vector<topology::VersionedPosition> history(
       NodeId sender) const;
 
+  /// Newest-first version history of `sender` as a borrowed span (empty
+  /// when unknown). The allocation-free sibling of history(): the span
+  /// aliases the store and is invalidated by record()/expire().
+  [[nodiscard]] std::span<const topology::VersionedPosition> records(
+      NodeId sender) const;
+
+  /// The record of `sender` with exactly `version` as a 0- or 1-element
+  /// borrowed span (same aliasing caveat as records()).
+  [[nodiscard]] std::span<const topology::VersionedPosition> record_at(
+      NodeId sender, std::uint64_t version) const;
+
   /// Newest record of `sender`, if any.
   [[nodiscard]] std::optional<topology::VersionedPosition> latest(
       NodeId sender) const;
@@ -51,6 +64,10 @@ class LocalViewStore {
   /// view assembly is independent of hash-map iteration order.
   [[nodiscard]] std::vector<NodeId> neighbors() const;
 
+  /// Allocation-free sibling of neighbors(): fills `out` (cleared first)
+  /// with the same sorted ids.
+  void neighbors(std::vector<NodeId>& out) const;
+
   [[nodiscard]] std::size_t neighbor_count() const noexcept {
     return entries_.size() - (entries_.contains(owner_) ? 1 : 0);
   }
@@ -61,6 +78,11 @@ class LocalViewStore {
   double expiry_;
   // Newest-first per sender.
   std::unordered_map<NodeId, std::vector<topology::VersionedPosition>> entries_;
+  // Lower bound on the oldest non-owner front send_time: expire() returns
+  // immediately while the cutoff sits below it (nothing can be stale), so
+  // the full-map scan runs only when something might actually expire.
+  // Maintained as min() on record, recomputed exactly on each full scan.
+  double oldest_front_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace mstc::core

@@ -61,13 +61,19 @@ void ContentionChannel::attempt(NodeId sender, double range, std::size_t bits,
         config_.slot_time *
         static_cast<double>(1 + rng_.uniform_below(static_cast<std::uint64_t>(
                                     config_.contention_window)));
-    simulator_.schedule_in(
-        backoff, [this, sender, range, bits, tries_left,
+    auto retry = [this, sender, range, bits, tries_left,
                   receive = std::move(on_receive),
                   drop = std::move(on_drop)]() mutable {
-          attempt(sender, range, bits, tries_left - 1, std::move(receive),
-                  std::move(drop));
-        });
+      attempt(sender, range, bits, tries_left - 1, std::move(receive),
+              std::move(drop));
+    };
+    // The largest closure scheduled anywhere in src/ — it sizes
+    // Handler::kInlineSize. Growing the capture past the buffer must be a
+    // conscious decision, not a silent heap fallback on the MAC hot path.
+    static_assert(sim::Handler::fits_inline<decltype(retry)>,
+                  "backoff-retry closure no longer fits Handler's inline "
+                  "buffer; grow sim::Handler::kInlineSize");
+    simulator_.schedule_in(backoff, std::move(retry));
     return;
   }
 
@@ -83,31 +89,33 @@ void ContentionChannel::attempt(NodeId sender, double range, std::size_t bits,
 
   // Score receptions at frame end: v decodes iff it is in decode range and
   // no OTHER transmission audible at v overlaps [start, end].
-  simulator_.schedule_in(
-      duration, [this, tx, receive = std::move(on_receive)] {
-        // Scoring runs inside simulator events (single-threaded), so the
-        // receiver set can live in a reused member buffer.
-        medium_.receivers(tx.sender, tx.range, tx.start, receiver_buffer_);
-        for (NodeId v : receiver_buffer_) {
-          const geom::Vec2 where = medium_.position(v, tx.start);
-          bool collided = false;
-          for (const Transmission& other : active_) {
-            if (other.sender == tx.sender && other.start == tx.start) continue;
-            if (other.end <= tx.start || other.start >= tx.end) continue;
-            if (geom::distance(where, other.origin) <=
-                other.interference_range) {
-              collided = true;
-              break;
-            }
-          }
-          if (collided) {
-            ++collisions_;
-          } else {
-            ++receptions_;
-            receive(v);
-          }
+  auto score = [this, tx, receive = std::move(on_receive)] {
+    // Scoring runs inside simulator events (single-threaded), so the
+    // receiver set can live in a reused member buffer.
+    medium_.receivers(tx.sender, tx.range, tx.start, receiver_buffer_);
+    for (NodeId v : receiver_buffer_) {
+      const geom::Vec2 where = medium_.position(v, tx.start);
+      bool collided = false;
+      for (const Transmission& other : active_) {
+        if (other.sender == tx.sender && other.start == tx.start) continue;
+        if (other.end <= tx.start || other.start >= tx.end) continue;
+        if (geom::distance(where, other.origin) <= other.interference_range) {
+          collided = true;
+          break;
         }
-      });
+      }
+      if (collided) {
+        ++collisions_;
+      } else {
+        ++receptions_;
+        receive(v);
+      }
+    }
+  };
+  static_assert(sim::Handler::fits_inline<decltype(score)>,
+                "frame-end scoring closure no longer fits Handler's inline "
+                "buffer; grow sim::Handler::kInlineSize");
+  simulator_.schedule_in(duration, std::move(score));
 }
 
 }  // namespace mstc::mac

@@ -16,6 +16,8 @@ const char* counter_name(Counter counter) noexcept {
       return "view_syncs";
     case Counter::kTopologyRecomputes:
       return "topology_recomputes";
+    case Counter::kTopologyRecomputeSkips:
+      return "topology_recompute_skips";
     case Counter::kLinkRemovals:
       return "link_removals";
     case Counter::kBufferZoneExpansions:
@@ -44,6 +46,8 @@ const char* counter_name(Counter counter) noexcept {
       return "epidemic_deliveries";
     case Counter::kSnapshots:
       return "snapshots";
+    case Counter::kSimEventsScheduled:
+      return "sim_events_scheduled";
     case Counter::kCount:
       break;
   }

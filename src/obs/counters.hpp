@@ -27,6 +27,7 @@ enum class Counter : std::size_t {
   kHelloLossDrops,        ///< Hello receptions destroyed by loss injection
   kViewSyncs,             ///< logical-selection refreshes requested
   kTopologyRecomputes,    ///< protocol selections actually applied
+  kTopologyRecomputeSkips,  ///< refreshes skipped by the recompute cache
   kLinkRemovals,          ///< logical neighbors dropped by a recompute
   kBufferZoneExpansions,  ///< recomputes that grew the extended range
   kSyncFloodForwards,     ///< reactive synchronization-flood forwards
@@ -41,6 +42,7 @@ enum class Counter : std::size_t {
   kEpidemicTransfers,     ///< epidemic copies handed to a new carrier
   kEpidemicDeliveries,    ///< epidemic messages reaching their destination
   kSnapshots,             ///< strict-connectivity snapshots taken
+  kSimEventsScheduled,    ///< events pushed into the simulator's queue
   kCount                  // sentinel
 };
 

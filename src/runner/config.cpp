@@ -20,6 +20,7 @@ ScenarioConfig apply_env_overrides(ScenarioConfig base) {
   base.snapshot_rate = util::env_or("MSTC_SNAPSHOT_RATE", base.snapshot_rate);
   base.warmup = util::env_or("MSTC_WARMUP", base.warmup);
   if (util::env_flag("MSTC_MEDIUM_BRUTE")) base.medium_brute_force = true;
+  if (util::env_flag("MSTC_NO_RECOMPUTE_CACHE")) base.recompute_cache = false;
   return base;
 }
 

@@ -47,6 +47,16 @@ struct ScenarioConfig {
   /// determinism suite asserts it); kept for differential testing and as
   /// the bench_scale baseline. Env: MSTC_MEDIUM_BRUTE=1.
   bool medium_brute_force = false;
+  /// Fleets below this size serve medium queries with the brute scan even
+  /// when the index is enabled — the index only breaks even above ~150
+  /// nodes (see docs/PERFORMANCE.md). 0 forces the index for any fleet.
+  std::size_t medium_grid_min_nodes = 150;
+  /// Skip Protocol::select when a node's assembled view is bit-identical
+  /// to its previous refresh (the protocol is a pure function of the view,
+  /// so the selection is provably unchanged; the determinism suite
+  /// byte-compares cache-on vs cache-off sweeps). Kept as an escape hatch
+  /// mirroring medium_brute_force. Env: MSTC_NO_RECOMPUTE_CACHE=1.
+  bool recompute_cache = true;
 
   // --- workload & measurement ---
   double duration = 30.0;       ///< simulated seconds

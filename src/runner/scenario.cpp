@@ -57,7 +57,8 @@ class Scenario {
             *make_mobility(cfg), cfg.node_count, cfg.duration,
             util::derive_seed(cfg.seed, 0xA11CE))),
         medium_(traces_, {.propagation_delay = kPropagationDelay,
-                          .brute_force = cfg.medium_brute_force}),
+                          .brute_force = cfg.medium_brute_force,
+                          .grid_min_nodes = cfg.medium_grid_min_nodes}),
         suite_(topology::make_protocol(cfg.protocol)),
         beacon_rng_(util::derive_seed(cfg.seed, 0xBEAC0)),
         traffic_rng_(util::derive_seed(cfg.seed, 0x7AFF1C)),
@@ -77,6 +78,7 @@ class Scenario {
           cfg.mode, 1.25 * cfg.hello_interval, controller_config.history_limit);
     }
     controller_config.accept_physical_neighbors = cfg.physical_neighbors;
+    controller_config.recompute_cache = cfg.recompute_cache;
 
     nodes_.reserve(cfg.node_count);
     for (NodeId u = 0; u < cfg.node_count; ++u) {
@@ -85,6 +87,15 @@ class Scenario {
     }
     for (auto& node : nodes_) node.attach_probe(&probe_);
     medium_.set_probe(&probe_);
+    simulator_.set_probe(&probe_);
+    // Size the event kernel for the whole run up front: per-node beacon
+    // chains plus the pre-scheduled flood and snapshot events (x2 covers
+    // per-hop forwarding churn and MAC retries).
+    simulator_.reserve_events(
+        2 * cfg.node_count +
+        2 * static_cast<std::size_t>(
+                cfg.duration * (2.0 * cfg.flood_rate + cfg.snapshot_rate)) +
+        64);
     last_hello_version_.assign(cfg.node_count, 0);
 
     if (cfg.mac == "csma") {
@@ -246,9 +257,13 @@ class Scenario {
     medium_.receivers(u, cfg_.normal_range, now, receiver_buffer_);
     for (NodeId v : receiver_buffer_) {
       if (drop_by_loss_injection(v)) continue;
-      simulator_.schedule_in(kPropagationDelay, [this, v, hello] {
+      auto deliver = [this, v, hello] {
         nodes_[v].on_hello_receive(hello, simulator_.now());
-      });
+      };
+      // The hot-path handler: per receiver, per Hello. It must stay inside
+      // the event kernel's inline storage or every delivery allocates.
+      static_assert(sim::Handler::fits_inline<decltype(deliver)>);
+      simulator_.schedule_in(kPropagationDelay, std::move(deliver));
     }
   }
 

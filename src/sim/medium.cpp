@@ -47,7 +47,8 @@ void Medium::receivers(NodeId sender, double range, double t,
   out.clear();
   const double range_sq = range * range;
   std::uint64_t checks = 0;
-  if (config_.brute_force || traces_.empty()) {
+  if (config_.brute_force || traces_.empty() ||
+      traces_.size() < config_.grid_min_nodes) {
     const geom::Vec2 origin = position(sender, t);
     for (NodeId node = 0; node < traces_.size(); ++node) {
       if (node == sender) continue;
@@ -99,7 +100,8 @@ void Medium::links_within(double range, double t,
   out.clear();
   const double range_sq = range * range;
   std::uint64_t checks = 0;
-  if (config_.brute_force || traces_.empty()) {
+  if (config_.brute_force || traces_.empty() ||
+      traces_.size() < config_.grid_min_nodes) {
     positions(t, scratch_positions_);
     for (NodeId u = 0; u < scratch_positions_.size(); ++u) {
       for (NodeId v = u + 1; v < scratch_positions_.size(); ++v) {

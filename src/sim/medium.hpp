@@ -51,6 +51,14 @@ class Medium {
     /// bench_scale.
     bool brute_force = false;
 
+    /// Fleets smaller than this use the brute scan automatically: below
+    /// ~150 nodes the index roughly breaks even (rebuild cost dominates —
+    /// see docs/PERFORMANCE.md and the BENCH_medium.json n=100 row), so
+    /// the crossover is built in. 0 forces the index for any non-empty
+    /// fleet (differential tests pin the grid path this way). Results are
+    /// bit-identical on both sides of the threshold.
+    std::size_t grid_min_nodes = 150;
+
     /// The index is rebuilt when the mobility slack 2 * v_max * |t - t0|
     /// exceeds this fraction of the query radius. Smaller values rebuild
     /// more often but keep the candidate radius tight; 0 disables slack

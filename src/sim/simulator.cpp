@@ -1,37 +1,57 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace mstc::sim {
 
+void Simulator::reserve_events(std::size_t expected_events) {
+  heap_.reserve(expected_events);
+  slots_.reserve(expected_events);
+  free_slots_.reserve(expected_events);
+}
+
 void Simulator::schedule_at(Time at, Handler handler) {
   assert(at >= now_ && "cannot schedule in the past");
-  queue_.push(Event{at, next_sequence_++, std::move(handler)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(handler);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(handler));
+  }
+  heap_.push_back(HeapKey{at, next_sequence_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (probe_ != nullptr) probe_->count(obs::Counter::kSimEventsScheduled);
+}
+
+Simulator::Handler Simulator::take_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapKey key = heap_.back();
+  heap_.pop_back();
+  Handler handler = std::move(slots_[key.slot]);
+  free_slots_.push_back(key.slot);
+  now_ = key.time;
+  current_sequence_ = key.sequence;
+  ++processed_;
+  return handler;
 }
 
 void Simulator::run_until(Time end) {
-  while (!queue_.empty() && queue_.top().time <= end) {
-    // priority_queue::top() is const; the handler must be moved out before
-    // pop, and executing after pop keeps reentrant scheduling safe.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    current_sequence_ = event.sequence;
-    ++processed_;
-    event.handler();
+  while (!heap_.empty() && heap_.front().time <= end) {
+    Handler handler = take_next();
+    handler();
   }
   now_ = end;
 }
 
 void Simulator::run_all() {
-  while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    current_sequence_ = event.sequence;
-    ++processed_;
-    event.handler();
+  while (!heap_.empty()) {
+    Handler handler = take_next();
+    handler();
   }
 }
 

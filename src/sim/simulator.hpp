@@ -3,12 +3,19 @@
 // A minimal, deterministic engine: events are (time, sequence, closure)
 // triples ordered by time with FIFO tie-breaking, so runs are exactly
 // reproducible. This is the ns-2 substitute described in DESIGN.md.
+//
+// Steady state makes no heap allocations: closures live in SBO Handler
+// slots (see handler.hpp) recycled through a free list, and the priority
+// queue orders lightweight (time, sequence, slot) keys. reserve_events()
+// pre-sizes everything from scenario parameters so even warmup growth is
+// a handful of vector doublings at most.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "obs/probe.hpp"
+#include "sim/handler.hpp"
 
 namespace mstc::sim {
 
@@ -16,9 +23,19 @@ using Time = double;
 
 class Simulator {
  public:
-  using Handler = std::function<void()>;
+  using Handler = sim::Handler;
 
   [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Attaches an observability probe (nullable). The only instrumentation
+  /// is the kSimEventsScheduled counter; as everywhere, observation never
+  /// feeds back into simulation state.
+  void set_probe(const obs::Probe* probe) noexcept { probe_ = probe; }
+
+  /// Pre-sizes the queue, the handler slots and the free list for
+  /// `expected_events` simultaneously-pending events (scenario setup knows
+  /// the schedule shape; growing past it stays correct, just reallocates).
+  void reserve_events(std::size_t expected_events);
 
   /// Schedules `handler` at absolute time `at` (must be >= now()).
   void schedule_at(Time at, Handler handler);
@@ -36,7 +53,7 @@ class Simulator {
   void run_all();
 
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
+    return heap_.size();
   }
   /// Number of handlers that have STARTED executing, including the one
   /// currently running. Note this is a count, not an identity: from inside
@@ -61,19 +78,29 @@ class Simulator {
   }
 
  private:
-  struct Event {
+  /// Heap entry: ordering data plus the index of the Handler slot, so
+  /// sift-up/down moves 24 trivially-copyable bytes instead of closures.
+  struct HeapKey {
     Time time;
     std::uint64_t sequence;
-    Handler handler;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const HeapKey& a, const HeapKey& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.sequence > b.sequence;  // FIFO among simultaneous events
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pops the earliest event, releases its slot (the handler is already
+  /// moved out, so a reentrant schedule_at may reuse it immediately) and
+  /// advances the clock/sequence/processed counters; returns the handler.
+  Handler take_next();
+
+  std::vector<HeapKey> heap_;  // min-heap via std::push_heap/pop_heap
+  std::vector<Handler> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  const obs::Probe* probe_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t processed_ = 0;

@@ -6,42 +6,43 @@
 // bottleneck formulation below handles interval costs directly: a path
 // link counts as "certainly cheaper" when its cost_max is below the direct
 // link's cost_min (enhanced condition 3).
+#include <algorithm>
+
 #include "topology/protocol.hpp"
 
 namespace mstc::topology {
 
-std::vector<std::size_t> LmstProtocol::select(const ViewGraph& view) const {
-  std::vector<std::size_t> logical;
+void LmstProtocol::select(const ViewGraph& view,
+                          std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
-  std::vector<char> reachable(n);
-  std::vector<std::size_t> stack;
+  reachable_.assign(n, 0);
   for (std::size_t v = 1; v < n; ++v) {
     const CostKey direct = view.cost_min(0, v);
     // BFS from the owner over links with cost_max < direct. The direct
     // link itself never qualifies (cost_max >= cost_min), so paths found
     // are genuine multi-hop (or cheaper single-hop witness chains).
-    std::fill(reachable.begin(), reachable.end(), 0);
-    reachable[0] = 1;
-    stack.assign(1, 0);
+    std::fill(reachable_.begin(), reachable_.end(), 0);
+    reachable_[0] = 1;
+    stack_.assign(1, 0);
     bool removed = false;
-    while (!stack.empty() && !removed) {
-      const std::size_t a = stack.back();
-      stack.pop_back();
+    while (!stack_.empty() && !removed) {
+      const std::size_t a = stack_.back();
+      stack_.pop_back();
       for (std::size_t b = 1; b < n; ++b) {
-        if (reachable[b] || !view.has_link(a, b)) continue;
+        if (reachable_[b] || !view.has_link(a, b)) continue;
         if (view.cost_max(a, b) < direct) {
           if (b == v) {
             removed = true;
             break;
           }
-          reachable[b] = 1;
-          stack.push_back(b);
+          reachable_[b] = 1;
+          stack_.push_back(b);
         }
       }
     }
-    if (!removed) logical.push_back(v);
+    if (!removed) out.push_back(v);
   }
-  return logical;
 }
 
 }  // namespace mstc::topology

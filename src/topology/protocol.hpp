@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "topology/view_graph.hpp"
@@ -22,12 +23,26 @@ class Protocol {
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Returns the view indices (1..neighbor_count) of the owner's logical
-  /// neighbors. With point cost intervals this implements the protocol's
-  /// original link-removal condition; with interval costs it implements
-  /// the enhanced (weakly consistent) condition.
-  [[nodiscard]] virtual std::vector<std::size_t> select(
-      const ViewGraph& view) const = 0;
+  /// Writes the view indices (1..neighbor_count) of the owner's logical
+  /// neighbors into `out` (cleared first). With point cost intervals this
+  /// implements the protocol's original link-removal condition; with
+  /// interval costs it implements the enhanced (weakly consistent)
+  /// condition.
+  ///
+  /// Threading: implementations reuse per-instance mutable scratch, so a
+  /// Protocol instance must only be driven by one thread at a time. The
+  /// sanctioned pattern gives each replication its own ProtocolSuite,
+  /// mirroring sim::Medium's per-replication contract.
+  virtual void select(const ViewGraph& view,
+                      std::vector<std::size_t>& out) const = 0;
+
+  /// Returning convenience overload (tests and one-shot callers). Derived
+  /// classes re-expose it via `using Protocol::select;`.
+  [[nodiscard]] std::vector<std::size_t> select(const ViewGraph& view) const {
+    std::vector<std::size_t> chosen;
+    select(view, chosen);
+    return chosen;
+  }
 };
 
 /// Relative neighborhood graph (link-removal condition 1): remove (u, v)
@@ -35,8 +50,9 @@ class Protocol {
 class RngProtocol final : public Protocol {
  public:
   [[nodiscard]] std::string_view name() const override { return "RNG"; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 };
 
 /// Gabriel graph: remove (u, v) when a witness lies in the disk with
@@ -47,8 +63,9 @@ class RngProtocol final : public Protocol {
 class GabrielProtocol final : public Protocol {
  public:
   [[nodiscard]] std::string_view name() const override { return "Gabriel"; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 };
 
 /// Local MST (Li, Hou & Sha; link-removal condition 3): remove (u, v) when
@@ -57,8 +74,14 @@ class GabrielProtocol final : public Protocol {
 class LmstProtocol final : public Protocol {
  public:
   [[nodiscard]] std::string_view name() const override { return "MST"; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
+
+ private:
+  // Per-instance scratch (see Protocol::select's threading contract).
+  mutable std::vector<char> reachable_;
+  mutable std::vector<std::size_t> stack_;
 };
 
 /// Minimum-energy / shortest-path-tree protocol (condition 2): remove
@@ -69,11 +92,15 @@ class SptProtocol final : public Protocol {
   explicit SptProtocol(std::string display_name)
       : display_name_(std::move(display_name)) {}
   [[nodiscard]] std::string_view name() const override { return display_name_; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 
  private:
   std::string display_name_;
+  // Per-instance scratch (see Protocol::select's threading contract).
+  mutable std::vector<double> dist_;
+  mutable std::vector<std::pair<double, std::size_t>> heap_;
 };
 
 /// Minimum-energy protocol with a dynamic search region (Rodoplu-Meng /
@@ -89,12 +116,17 @@ class SearchRegionSptProtocol final : public Protocol {
   SearchRegionSptProtocol(std::string display_name,
                           double initial_fraction = 0.25);
   [[nodiscard]] std::string_view name() const override { return display_name_; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 
  private:
   std::string display_name_;
   double initial_fraction_;
+  // Per-instance scratch (see Protocol::select's threading contract).
+  mutable std::vector<char> inside_;
+  mutable std::vector<double> dist_;
+  mutable std::vector<std::pair<double, std::size_t>> heap_;
 };
 
 /// Yao graph: divide the plane around the owner into k equal cones and keep
@@ -104,12 +136,16 @@ class YaoProtocol final : public Protocol {
  public:
   explicit YaoProtocol(int sectors = 6);
   [[nodiscard]] std::string_view name() const override { return display_name_; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 
  private:
   int sectors_;
   std::string display_name_;
+  // Per-instance scratch (see Protocol::select's threading contract).
+  mutable std::vector<CostKey> sector_best_;
+  mutable std::vector<std::size_t> sector_of_;
 };
 
 /// Cone-based topology control (Li, Halpern et al.): grow the neighbor set
@@ -122,11 +158,15 @@ class CbtcProtocol final : public Protocol {
  public:
   explicit CbtcProtocol(double rho);
   [[nodiscard]] std::string_view name() const override { return "CBTC"; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 
  private:
   double rho_;
+  // Per-instance scratch (see Protocol::select's threading contract).
+  mutable std::vector<std::size_t> order_;
+  mutable std::vector<geom::Vec2> directions_;
 };
 
 /// Fault-tolerant Yao variant: keep the k cheapest neighbors in each of
@@ -138,13 +178,17 @@ class KYaoProtocol final : public Protocol {
  public:
   KYaoProtocol(int sectors, int per_sector);
   [[nodiscard]] std::string_view name() const override { return display_name_; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 
  private:
   int sectors_;
   int per_sector_;
   std::string display_name_;
+  // Per-instance scratch (see Protocol::select's threading contract).
+  mutable std::vector<std::vector<std::size_t>> sector_;
+  mutable std::vector<CostKey> costs_;
 };
 
 /// K-Neigh probabilistic baseline (Blough et al.): keep the k nearest
@@ -153,8 +197,9 @@ class KNeighProtocol final : public Protocol {
  public:
   explicit KNeighProtocol(int k);
   [[nodiscard]] std::string_view name() const override { return display_name_; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 
  private:
   int k_;
@@ -165,8 +210,9 @@ class KNeighProtocol final : public Protocol {
 class NoneProtocol final : public Protocol {
  public:
   [[nodiscard]] std::string_view name() const override { return "None"; }
-  [[nodiscard]] std::vector<std::size_t> select(
-      const ViewGraph& view) const override;
+  using Protocol::select;
+  void select(const ViewGraph& view,
+              std::vector<std::size_t>& out) const override;
 };
 
 /// Protocol + its cost model, bundled because the removal conditions only

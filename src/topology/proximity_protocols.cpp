@@ -4,8 +4,9 @@
 
 namespace mstc::topology {
 
-std::vector<std::size_t> RngProtocol::select(const ViewGraph& view) const {
-  std::vector<std::size_t> logical;
+void RngProtocol::select(const ViewGraph& view,
+                         std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
   for (std::size_t v = 1; v < n; ++v) {
     const CostKey direct = view.cost_min(0, v);
@@ -15,17 +16,17 @@ std::vector<std::size_t> RngProtocol::select(const ViewGraph& view) const {
       if (!view.has_link(0, w) || !view.has_link(w, v)) continue;
       removed = direct > view.cost_max(0, w) && direct > view.cost_max(w, v);
     }
-    if (!removed) logical.push_back(v);
+    if (!removed) out.push_back(v);
   }
-  return logical;
 }
 
-std::vector<std::size_t> GabrielProtocol::select(const ViewGraph& view) const {
+void GabrielProtocol::select(const ViewGraph& view,
+                             std::vector<std::size_t>& out) const {
   // Geometric witness test on representative positions, guarded by the
   // cost-interval condition so that interval views remove conservatively:
   // a removal needs the witness inside the Gabriel disk *and* both witness
   // links certainly cheaper than the direct link.
-  std::vector<std::size_t> logical;
+  out.clear();
   const std::size_t n = view.node_count();
   const geom::Vec2 u = view.representative(0);
   for (std::size_t v = 1; v < n; ++v) {
@@ -38,9 +39,8 @@ std::vector<std::size_t> GabrielProtocol::select(const ViewGraph& view) const {
       removed = geom::in_gabriel_disk(u, pv, view.representative(w)) &&
                 direct > view.cost_max(0, w) && direct > view.cost_max(w, v);
     }
-    if (!removed) logical.push_back(v);
+    if (!removed) out.push_back(v);
   }
-  return logical;
 }
 
 }  // namespace mstc::topology

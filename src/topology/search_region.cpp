@@ -5,9 +5,10 @@
 // connectivity guarantee — and the whole mobility-sensitive machinery —
 // applies unchanged. That is precisely what the paper's Section 6 asks
 // for: extending the framework to partial-information protocols.
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "topology/protocol.hpp"
 
@@ -20,10 +21,11 @@ SearchRegionSptProtocol::SearchRegionSptProtocol(std::string display_name,
   assert(initial_fraction_ > 0.0 && initial_fraction_ <= 1.0);
 }
 
-std::vector<std::size_t> SearchRegionSptProtocol::select(
-    const ViewGraph& view) const {
+void SearchRegionSptProtocol::select(const ViewGraph& view,
+                                     std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
-  if (n <= 1) return {};
+  if (n <= 1) return;
 
   double max_distance = 0.0;
   for (std::size_t v = 1; v < n; ++v) {
@@ -33,17 +35,17 @@ std::vector<std::size_t> SearchRegionSptProtocol::select(
   // Grow the search radius until every outside neighbor has a certainly
   // cheaper 2-hop relay through an inside neighbor.
   double radius = initial_fraction_ * max_distance;
-  std::vector<char> inside(n, 0);
+  inside_.assign(n, 0);
   for (int growth = 0; growth < 16; ++growth) {
     for (std::size_t v = 1; v < n; ++v) {
-      inside[v] = view.distance_max(0, v) <= radius;
+      inside_[v] = view.distance_max(0, v) <= radius;
     }
     bool covered = true;
     for (std::size_t v = 1; v < n && covered; ++v) {
-      if (inside[v]) continue;
+      if (inside_[v]) continue;
       bool relayed = false;
       for (std::size_t w = 1; w < n && !relayed; ++w) {
-        if (!inside[w] || !view.has_link(w, v)) continue;
+        if (!inside_[w] || !view.has_link(w, v)) continue;
         relayed = view.cost_max(0, w).value + view.cost_max(w, v).value <
                   view.cost_min(0, v).value;
       }
@@ -55,35 +57,36 @@ std::vector<std::size_t> SearchRegionSptProtocol::select(
 
   // SPT children of the owner within the region (Dijkstra over inside
   // nodes only, pessimistic costs; direct link masked per target as in
-  // SptProtocol).
+  // SptProtocol). Same push_heap/pop_heap min-heap as SptProtocol: the
+  // exact algorithm std::priority_queue specifies, so pop order — and
+  // thus determinism — is unchanged.
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> logical;
-  std::vector<double> dist(n);
-  using Item = std::pair<double, std::size_t>;
+  dist_.resize(n);
   for (std::size_t v = 1; v < n; ++v) {
-    if (!inside[v]) continue;
+    if (!inside_[v]) continue;
     const double direct = view.cost_min(0, v).value;
-    std::fill(dist.begin(), dist.end(), kInf);
-    dist[0] = 0.0;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    heap.emplace(0.0, 0);
-    while (!heap.empty()) {
-      const auto [d, a] = heap.top();
-      heap.pop();
-      if (d > dist[a] || d >= direct) continue;
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    dist_[0] = 0.0;
+    heap_.clear();
+    heap_.emplace_back(0.0, std::size_t{0});
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      const auto [d, a] = heap_.back();
+      heap_.pop_back();
+      if (d > dist_[a] || d >= direct) continue;
       for (std::size_t b = 1; b < n; ++b) {
-        if (b == a || !inside[b] || !view.has_link(a, b)) continue;
+        if (b == a || !inside_[b] || !view.has_link(a, b)) continue;
         if (a == 0 && b == v) continue;
         const double candidate = d + view.cost_max(a, b).value;
-        if (candidate < dist[b]) {
-          dist[b] = candidate;
-          heap.emplace(candidate, b);
+        if (candidate < dist_[b]) {
+          dist_[b] = candidate;
+          heap_.emplace_back(candidate, b);
+          std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
         }
       }
     }
-    if (!(direct > dist[v])) logical.push_back(v);
+    if (!(direct > dist_[v])) out.push_back(v);
   }
-  return logical;
 }
 
 }  // namespace mstc::topology

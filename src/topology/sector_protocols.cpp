@@ -1,6 +1,7 @@
 // Yao-graph and cone-based (CBTC) protocols.
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <numbers>
 #include <sstream>
 
@@ -16,30 +17,29 @@ YaoProtocol::YaoProtocol(int sectors) : sectors_(sectors) {
   display_name_ = name.str();
 }
 
-std::vector<std::size_t> YaoProtocol::select(const ViewGraph& view) const {
+void YaoProtocol::select(const ViewGraph& view,
+                         std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
   const geom::Vec2 origin = view.representative(0);
   // Cheapest certain cost per sector.
   constexpr CostKey kNoneYet{std::numeric_limits<double>::infinity(), 0, 0};
-  std::vector<CostKey> sector_best(static_cast<std::size_t>(sectors_),
-                                   kNoneYet);
-  std::vector<std::size_t> sector_of(n, 0);
+  sector_best_.assign(static_cast<std::size_t>(sectors_), kNoneYet);
+  sector_of_.assign(n, 0);
   for (std::size_t v = 1; v < n; ++v) {
-    sector_of[v] = static_cast<std::size_t>(
+    sector_of_[v] = static_cast<std::size_t>(
         geom::yao_sector(origin, view.representative(v), sectors_));
-    sector_best[sector_of[v]] =
-        std::min(sector_best[sector_of[v]], view.cost_max(0, v));
+    sector_best_[sector_of_[v]] =
+        std::min(sector_best_[sector_of_[v]], view.cost_max(0, v));
   }
   // Keep every neighbor that might be its sector's cheapest: cost_min not
   // above the sector's smallest certain cost. Point intervals keep exactly
   // one neighbor per nonempty sector (the classic Yao graph).
-  std::vector<std::size_t> logical;
   for (std::size_t v = 1; v < n; ++v) {
-    if (view.cost_min(0, v) <= sector_best[sector_of[v]]) {
-      logical.push_back(v);
+    if (view.cost_min(0, v) <= sector_best_[sector_of_[v]]) {
+      out.push_back(v);
     }
   }
-  return logical;
 }
 
 KYaoProtocol::KYaoProtocol(int sectors, int per_sector)
@@ -50,72 +50,72 @@ KYaoProtocol::KYaoProtocol(int sectors, int per_sector)
   display_name_ = name.str();
 }
 
-std::vector<std::size_t> KYaoProtocol::select(const ViewGraph& view) const {
+void KYaoProtocol::select(const ViewGraph& view,
+                          std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
   const geom::Vec2 origin = view.representative(0);
   // Bucket neighbors by sector, then keep the per_sector_ cheapest in each
   // (certain-cost ordering; under interval views a neighbor survives when
   // it could rank within the top per_sector_).
-  std::vector<std::vector<std::size_t>> sector(
-      static_cast<std::size_t>(sectors_));
+  sector_.resize(static_cast<std::size_t>(sectors_));
+  for (auto& members : sector_) members.clear();
   for (std::size_t v = 1; v < n; ++v) {
-    sector[static_cast<std::size_t>(
-               geom::yao_sector(origin, view.representative(v), sectors_))]
+    sector_[static_cast<std::size_t>(
+                geom::yao_sector(origin, view.representative(v), sectors_))]
         .push_back(v);
   }
-  std::vector<std::size_t> logical;
-  for (auto& members : sector) {
+  for (auto& members : sector_) {
     if (members.size() > static_cast<std::size_t>(per_sector_)) {
       // The per_sector_-th smallest certain cost is the cut; keep every
       // member whose optimistic cost could beat it.
-      std::vector<CostKey> costs;
-      costs.reserve(members.size());
-      for (std::size_t v : members) costs.push_back(view.cost_max(0, v));
-      std::nth_element(costs.begin(),
-                       costs.begin() + (per_sector_ - 1), costs.end());
-      const CostKey cut = costs[static_cast<std::size_t>(per_sector_ - 1)];
+      costs_.clear();
+      costs_.reserve(members.size());
+      for (std::size_t v : members) costs_.push_back(view.cost_max(0, v));
+      std::nth_element(costs_.begin(),
+                       costs_.begin() + (per_sector_ - 1), costs_.end());
+      const CostKey cut = costs_[static_cast<std::size_t>(per_sector_ - 1)];
       for (std::size_t v : members) {
-        if (view.cost_min(0, v) <= cut) logical.push_back(v);
+        if (view.cost_min(0, v) <= cut) out.push_back(v);
       }
     } else {
-      logical.insert(logical.end(), members.begin(), members.end());
+      out.insert(out.end(), members.begin(), members.end());
     }
   }
-  std::sort(logical.begin(), logical.end());
-  return logical;
+  std::sort(out.begin(), out.end());
 }
 
 CbtcProtocol::CbtcProtocol(double rho) : rho_(rho) {
   assert(rho_ > 0.0 && rho_ <= 2.0 * std::numbers::pi);
 }
 
-std::vector<std::size_t> CbtcProtocol::select(const ViewGraph& view) const {
+void CbtcProtocol::select(const ViewGraph& view,
+                          std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
   const geom::Vec2 origin = view.representative(0);
   // Nearest-first growth until every cone of angle rho_ holds a neighbor.
-  std::vector<std::size_t> order;
-  for (std::size_t v = 1; v < n; ++v) order.push_back(v);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  order_.clear();
+  for (std::size_t v = 1; v < n; ++v) order_.push_back(v);
+  std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
     return view.cost_min(0, a) < view.cost_min(0, b);
   });
   // Basic CBTC: the neighbor set is everything inside the grown radius —
   // the minimal nearest-first prefix achieving cone coverage. (Interior
   // nodes are kept; only the radius shrinks back to the coverage minimum.)
-  std::vector<std::size_t> selected;
-  std::vector<geom::Vec2> directions;
-  for (std::size_t v : order) {
-    selected.push_back(v);
-    directions.push_back(view.representative(v));
-    if (geom::cone_coverage_complete(origin, directions.data(),
-                                     static_cast<int>(directions.size()),
+  directions_.clear();
+  for (std::size_t v : order_) {
+    out.push_back(v);
+    directions_.push_back(view.representative(v));
+    if (geom::cone_coverage_complete(origin, directions_.data(),
+                                     static_cast<int>(directions_.size()),
                                      rho_)) {
       break;
     }
   }
   // Not covered => boundary node: keep everything it saw (already true,
   // since the loop consumed every neighbor).
-  std::sort(selected.begin(), selected.end());
-  return selected;
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace mstc::topology

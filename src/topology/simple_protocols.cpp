@@ -16,23 +16,23 @@ KNeighProtocol::KNeighProtocol(int k) : k_(k) {
   display_name_ = name.str();
 }
 
-std::vector<std::size_t> KNeighProtocol::select(const ViewGraph& view) const {
-  std::vector<std::size_t> order;
-  for (std::size_t v = 1; v < view.node_count(); ++v) order.push_back(v);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+void KNeighProtocol::select(const ViewGraph& view,
+                            std::vector<std::size_t>& out) const {
+  out.clear();
+  for (std::size_t v = 1; v < view.node_count(); ++v) out.push_back(v);
+  std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
     return view.cost_min(0, a) < view.cost_min(0, b);
   });
-  if (order.size() > static_cast<std::size_t>(k_)) {
-    order.resize(static_cast<std::size_t>(k_));
+  if (out.size() > static_cast<std::size_t>(k_)) {
+    out.resize(static_cast<std::size_t>(k_));
   }
-  std::sort(order.begin(), order.end());
-  return order;
+  std::sort(out.begin(), out.end());
 }
 
-std::vector<std::size_t> NoneProtocol::select(const ViewGraph& view) const {
-  std::vector<std::size_t> all;
-  for (std::size_t v = 1; v < view.node_count(); ++v) all.push_back(v);
-  return all;
+void NoneProtocol::select(const ViewGraph& view,
+                          std::vector<std::size_t>& out) const {
+  out.clear();
+  for (std::size_t v = 1; v < view.node_count(); ++v) out.push_back(v);
 }
 
 ProtocolSuite make_protocol(std::string_view name) {

@@ -6,46 +6,51 @@
 // to 1-hop information: keeping exactly the root's children in the local
 // shortest-path tree. Interval views use cost_max on path links and
 // cost_min on the direct link (enhanced condition 2).
+#include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "topology/protocol.hpp"
 
 namespace mstc::topology {
 
-std::vector<std::size_t> SptProtocol::select(const ViewGraph& view) const {
-  std::vector<std::size_t> logical;
+void SptProtocol::select(const ViewGraph& view,
+                         std::vector<std::size_t>& out) const {
+  out.clear();
   const std::size_t n = view.node_count();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(n);
-  using Item = std::pair<double, std::size_t>;
+  dist_.resize(n);
 
   for (std::size_t v = 1; v < n; ++v) {
     const double direct = view.cost_min(0, v).value;
     // Dijkstra from the owner with the direct link (0, v) masked, so any
-    // path found to v has at least one intermediate hop.
-    std::fill(dist.begin(), dist.end(), kInf);
-    dist[0] = 0.0;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    heap.emplace(0.0, 0);
-    while (!heap.empty()) {
-      const auto [d, a] = heap.top();
-      heap.pop();
-      if (d > dist[a] || d >= direct) continue;  // can't beat direct anymore
+    // path found to v has at least one intermediate hop. The scratch heap
+    // is driven with push_heap/pop_heap (min-heap via std::greater), the
+    // exact algorithm std::priority_queue specifies — pop order, and thus
+    // determinism, is unchanged.
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    dist_[0] = 0.0;
+    heap_.clear();
+    heap_.emplace_back(0.0, std::size_t{0});
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      const auto [d, a] = heap_.back();
+      heap_.pop_back();
+      if (d > dist_[a] || d >= direct) continue;  // can't beat direct anymore
       for (std::size_t b = 1; b < n; ++b) {
         if (b == a || !view.has_link(a, b)) continue;
         if (a == 0 && b == v) continue;  // masked direct link
         const double candidate = d + view.cost_max(a, b).value;
-        if (candidate < dist[b]) {
-          dist[b] = candidate;
-          heap.emplace(candidate, b);
+        if (candidate < dist_[b]) {
+          dist_[b] = candidate;
+          heap_.emplace_back(candidate, b);
+          std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
         }
       }
     }
     // Strict inequality: equal-cost detours keep the link (conservative).
-    if (!(direct > dist[v])) logical.push_back(v);
+    if (!(direct > dist_[v])) out.push_back(v);
   }
-  return logical;
 }
 
 }  // namespace mstc::topology

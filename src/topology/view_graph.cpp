@@ -4,14 +4,19 @@
 
 namespace mstc::topology {
 
-ViewGraph::ViewGraph(NodeId owner_id, std::size_t neighbor_count)
-    : ids_(neighbor_count + 1),
-      representatives_(neighbor_count + 1),
-      exists_((neighbor_count + 1) * (neighbor_count + 1), 0),
-      cost_min_((neighbor_count + 1) * (neighbor_count + 1)),
-      cost_max_((neighbor_count + 1) * (neighbor_count + 1)),
-      distance_min_((neighbor_count + 1) * (neighbor_count + 1), 0.0),
-      distance_max_((neighbor_count + 1) * (neighbor_count + 1), 0.0) {
+ViewGraph::ViewGraph(NodeId owner_id, std::size_t neighbor_count) {
+  reset(owner_id, neighbor_count);
+}
+
+void ViewGraph::reset(NodeId owner_id, std::size_t neighbor_count) {
+  const std::size_t nodes = neighbor_count + 1;
+  ids_.resize(nodes);
+  representatives_.resize(nodes);
+  exists_.assign(nodes * nodes, 0);
+  cost_min_.resize(nodes * nodes);
+  cost_max_.resize(nodes * nodes);
+  distance_min_.resize(nodes * nodes);
+  distance_max_.resize(nodes * nodes);
   ids_[0] = owner_id;
 }
 

@@ -25,8 +25,19 @@ struct VersionedPosition {
 
 class ViewGraph {
  public:
+  /// Empty graph; reset() must run before any other member.
+  ViewGraph() = default;
+
   /// Node index 0 is the owner; indices 1..neighbor_count are neighbors.
   ViewGraph(NodeId owner_id, std::size_t neighbor_count);
+
+  /// Re-targets the graph to a new owner/size without shrinking capacity:
+  /// repeated reset/assemble cycles on one instance stop allocating once
+  /// the largest neighborhood has been seen. Only the link-existence flags
+  /// are cleared — every cost/distance read is either on the owner row
+  /// (always rewritten by view assembly) or guarded by has_link(), so
+  /// stale entries are unreachable.
+  void reset(NodeId owner_id, std::size_t neighbor_count);
 
   [[nodiscard]] std::size_t node_count() const noexcept { return ids_.size(); }
   [[nodiscard]] std::size_t neighbor_count() const noexcept {

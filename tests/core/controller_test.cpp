@@ -48,6 +48,28 @@ TEST_F(ControllerTest, ExtendedRangeAddsBufferWidth) {
   EXPECT_NEAR(node.extended_range(), 130.0, 1e-6);
 }
 
+TEST_F(ControllerTest, LogicalNeighborsAreSortedAscending) {
+  // Documented contract of logical_neighbors(): sorted ascending, whatever
+  // order Hellos arrive in and wherever the owner's id falls in the fleet.
+  // is_logical() binary-searches the vector, so breaking sortedness makes
+  // membership tests silently wrong rather than failing loudly.
+  const topology::NoneProtocol keep_all;
+  NodeController node(50, keep_all, cost_, ControllerConfig{});
+  const std::vector<NodeId> arrival_order{90, 10, 70, 30, 60, 20};
+  double t = 0.1;
+  for (NodeId sender : arrival_order) {
+    node.on_hello_receive(hello(sender, {1.0 + 0.1 * t, 2.0}, 1, t), t);
+    t += 0.1;
+  }
+  node.on_hello_send(t, {0.0, 0.0}, 1);
+
+  EXPECT_EQ(node.logical_neighbors(),
+            (std::vector<NodeId>{10, 20, 30, 60, 70, 90}));
+  for (NodeId sender : arrival_order) EXPECT_TRUE(node.is_logical(sender));
+  EXPECT_FALSE(node.is_logical(50));  // the owner is never its own neighbor
+  EXPECT_FALSE(node.is_logical(40));
+}
+
 TEST_F(ControllerTest, NoNeighborsMeansZeroRange) {
   NodeController node(0, mst_, cost_, ControllerConfig{});
   node.on_hello_send(0.5, {0.0, 0.0}, 1);

@@ -1,0 +1,178 @@
+// Recompute-cache fingerprint suite.
+//
+// The controller skips the protocol run when the selection's exact inputs
+// — member ids and raw position bits, post-expiry — match the previous
+// refresh. These tests pin the invalidation contract: every event that can
+// change the assembled view (a Hello advertising a moved position, a
+// neighbor expiring, the history window rotating, the owner moving) must
+// force a recompute, while a byte-identical store must skip. Counted via
+// the topology_recomputes / topology_recompute_skips probe counters.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "obs/probe.hpp"
+
+namespace mstc::core {
+namespace {
+
+using geom::Vec2;
+
+HelloRecord hello(NodeId sender, Vec2 p, std::uint64_t version, double time) {
+  return HelloRecord{sender, {p, version, time}};
+}
+
+class RecomputeCacheTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] std::uint64_t recomputes() const {
+    return observation_.counters.total(obs::Counter::kTopologyRecomputes);
+  }
+  [[nodiscard]] std::uint64_t skips() const {
+    return observation_.counters.total(obs::Counter::kTopologyRecomputeSkips);
+  }
+
+  topology::DistanceCost cost_;
+  topology::RngProtocol rng_;
+  obs::RunObservation observation_;
+  obs::Probe probe_{&observation_};
+};
+
+TEST_F(RecomputeCacheTest, UnchangedStoreSkipsAndPreservesSelection) {
+  NodeController node(0, rng_, cost_, ControllerConfig{});
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  ASSERT_EQ(recomputes(), 1u);
+  ASSERT_EQ(skips(), 0u);
+  const auto logical = node.logical_neighbors();
+  const double range = node.actual_range();
+
+  // Nothing recorded in between: both refreshes must hit the cache and
+  // leave the published selection bit-identical.
+  node.refresh_selection(0.3);
+  node.refresh_selection(0.4);
+  EXPECT_EQ(recomputes(), 1u);
+  EXPECT_EQ(skips(), 2u);
+  EXPECT_EQ(node.logical_neighbors(), logical);
+  EXPECT_DOUBLE_EQ(node.actual_range(), range);
+}
+
+TEST_F(RecomputeCacheTest, NewVersionWithSamePositionBitsStillSkips) {
+  // The fingerprint covers position bits, not versions: a static neighbor
+  // re-advertising the same coordinates must not bust the cache (this is
+  // what makes static fleets skip ~100% of refreshes).
+  NodeController node(0, rng_, cost_, ControllerConfig{});
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 2, 1.1), 1.1);
+  node.on_hello_send(1.2, {0.0, 0.0}, 2);  // own bits unchanged too
+  EXPECT_EQ(recomputes(), 1u);
+  EXPECT_EQ(skips(), 1u);
+}
+
+TEST_F(RecomputeCacheTest, MovedNeighborForcesRecompute) {
+  NodeController node(0, rng_, cost_, ControllerConfig{});
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  ASSERT_EQ(recomputes(), 1u);
+
+  node.on_hello_receive(hello(1, {7.0, 0.0}, 2, 1.1), 1.1);
+  node.refresh_selection(1.2);
+  EXPECT_EQ(recomputes(), 2u);
+  EXPECT_EQ(skips(), 0u);
+  EXPECT_NEAR(node.actual_range(), 7.0, 1e-6);
+}
+
+TEST_F(RecomputeCacheTest, NeighborExpiryForcesRecompute) {
+  ControllerConfig config;
+  config.view_expiry = 2.0;
+  NodeController node(0, rng_, cost_, config);
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  ASSERT_EQ(node.logical_neighbors(), (std::vector<NodeId>{1}));
+  ASSERT_EQ(recomputes(), 1u);
+
+  // The neighbor ages out; the key (member set) changes, so the refresh
+  // must recompute and drop it — a skip here would publish a stale link.
+  node.refresh_selection(5.0);
+  EXPECT_EQ(recomputes(), 2u);
+  EXPECT_EQ(skips(), 0u);
+  EXPECT_TRUE(node.logical_neighbors().empty());
+}
+
+TEST_F(RecomputeCacheTest, HistoryRotationForcesRecomputeInWeakMode) {
+  ControllerConfig config;
+  config.mode = ConsistencyMode::kWeak;
+  config.history_limit = 2;
+  NodeController node(0, rng_, cost_, config);
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {4.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_receive(hello(1, {6.0, 0.0}, 2, 1.1), 1.1);
+  node.on_hello_send(1.2, {0.0, 0.0}, 1);
+  ASSERT_EQ(recomputes(), 1u);
+  ASSERT_NEAR(node.actual_range(), 6.0, 1e-6);  // interval covers {4, 6}
+
+  // A third record pushes {4.0, 0.0} out of the window: even though the
+  // newest two positions include one already seen, the stored set — and
+  // hence the interval view — changed, so the cache must miss.
+  node.on_hello_receive(hello(1, {6.0, 0.0}, 3, 2.1), 2.1);
+  node.on_hello_send(2.2, {0.0, 0.0}, 2);
+  EXPECT_EQ(recomputes(), 2u);
+  EXPECT_NEAR(node.actual_range(), 6.0, 1e-6);  // interval now {6, 6}
+}
+
+TEST_F(RecomputeCacheTest, OwnerPositionChangeForcesRecompute) {
+  NodeController node(0, rng_, cost_, ControllerConfig{});
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  ASSERT_EQ(recomputes(), 1u);
+
+  node.on_hello_send(1.2, {1.0, 0.0}, 2);  // the owner itself moved
+  EXPECT_EQ(recomputes(), 2u);
+  EXPECT_EQ(skips(), 0u);
+  EXPECT_NEAR(node.actual_range(), 4.0, 1e-6);
+}
+
+TEST_F(RecomputeCacheTest, CacheOffRecomputesEveryRefresh) {
+  ControllerConfig config;
+  config.recompute_cache = false;
+  NodeController node(0, rng_, cost_, config);
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  node.refresh_selection(0.3);
+  node.refresh_selection(0.4);
+  EXPECT_EQ(recomputes(), 3u);
+  EXPECT_EQ(skips(), 0u);
+  EXPECT_EQ(node.logical_neighbors(), (std::vector<NodeId>{1}));
+}
+
+TEST_F(RecomputeCacheTest, VersionedRefreshSkipsOnIdenticalPinnedInputs) {
+  ControllerConfig config;
+  config.mode = ConsistencyMode::kProactive;
+  config.history_limit = 3;
+  NodeController node(0, rng_, cost_, config);
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 0, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 0);  // version 0: nothing to decide
+  node.on_hello_send(1.2, {0.0, 0.0}, 1);  // decides pinned to version 0
+  ASSERT_EQ(recomputes(), 1u);
+
+  // Same pinned version, unchanged store: skip. A missing version stays a
+  // no-op and must not touch the counters or the cached key.
+  node.refresh_selection_versioned(1.3, 0);
+  EXPECT_EQ(recomputes(), 1u);
+  EXPECT_EQ(skips(), 1u);
+  node.refresh_selection_versioned(1.4, 77);
+  EXPECT_EQ(recomputes(), 1u);
+  EXPECT_EQ(skips(), 1u);
+  node.refresh_selection_versioned(1.5, 0);
+  EXPECT_EQ(skips(), 2u);
+  EXPECT_EQ(node.logical_neighbors(), (std::vector<NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace mstc::core

@@ -158,6 +158,9 @@ TEST(Determinism, GridIndexedMediumMatchesBruteForceByteForByte) {
   // across the two paths. Runs through the pool so the TSan job also
   // covers the index's mutable caches.
   auto configs = representative_configs();
+  // Representative fleets sit below the grid_min_nodes crossover; force the
+  // index on so this test compares genuinely different code paths.
+  for (auto& config : configs) config.medium_grid_min_nodes = 0;
   util::ThreadPool pool(3);
   const auto grid = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
 
@@ -166,6 +169,31 @@ TEST(Determinism, GridIndexedMediumMatchesBruteForceByteForByte) {
 
   ASSERT_EQ(grid, brute)
       << "grid-backed medium diverged from the brute-force scan";
+}
+
+TEST(Determinism, RecomputeCacheOnMatchesOff) {
+  // The recompute cache (PR 4) skips the protocol run when the assembled
+  // view's fingerprint — member ids and raw position bits, post-expiry —
+  // matches the previous refresh. Equal fingerprints imply a bit-identical
+  // view, so cached runs must byte-compare against cache-off runs: any
+  // divergence means the key misses an input the selection depends on.
+  // Serial and pooled, per the suite's standing contract.
+  const auto cached = representative_configs();
+  auto uncached = cached;
+  for (auto& config : uncached) config.recompute_cache = false;
+
+  const auto serial_on = bit_snapshot(serial_reference(cached, kRepeats));
+  const auto serial_off = bit_snapshot(serial_reference(uncached, kRepeats));
+  ASSERT_EQ(serial_on, serial_off)
+      << "recompute cache changed serial simulation results";
+
+  util::ThreadPool pool(3);
+  const auto pooled_on = bit_snapshot(run_batch_raw(cached, kRepeats, pool));
+  const auto pooled_off =
+      bit_snapshot(run_batch_raw(uncached, kRepeats, pool));
+  ASSERT_EQ(pooled_on, serial_on);
+  ASSERT_EQ(pooled_off, serial_on)
+      << "recompute cache changed pooled simulation results";
 }
 
 TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {

@@ -34,7 +34,9 @@ std::uint64_t sweep_checksum() {
   // checksums — without sharing a single byte between threads.
   const auto traces =
       mobility::generate_traces(*model, kNodes, kDuration, kSeed);
-  const Medium medium(traces, {});
+  // Force the index (kNodes sits below grid_min_nodes) so TSan exercises
+  // the grid's mutable caches, which is the point of this suite.
+  const Medium medium(traces, {.grid_min_nodes = 0});
 
   std::uint64_t hash = 1469598103934665603ull;
   const auto fold = [&hash](std::uint64_t value) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 namespace mstc::sim {
@@ -124,6 +125,54 @@ TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
   Simulator simulator;
   simulator.run_until(42.0);
   EXPECT_DOUBLE_EQ(simulator.now(), 42.0);
+}
+
+TEST(Simulator, OversizedHandlersFallBackToHeapAndStillFire) {
+  // Handler stores closures up to kInlineSize bytes inline; anything
+  // larger takes the documented single-allocation fallback. The fallback
+  // must behave identically — fire in order, survive the queue's moves,
+  // destroy cleanly — it is only slower.
+  struct Payload {
+    std::array<double, 32> samples{};  // 256 bytes: well past kInlineSize
+    std::vector<double>* sink = nullptr;
+  };
+  Simulator simulator;
+  std::vector<double> fired;
+  for (int i = 0; i < 8; ++i) {
+    Payload payload;
+    payload.samples[0] = static_cast<double>(i);
+    payload.sink = &fired;
+    auto handler = [payload] { payload.sink->push_back(payload.samples[0]); };
+    static_assert(!Handler::fits_inline<decltype(handler)>);
+    simulator.schedule_at(static_cast<double>(7 - i), std::move(handler));
+  }
+  simulator.run_all();
+  EXPECT_EQ(fired, (std::vector<double>{7, 6, 5, 4, 3, 2, 1, 0}));
+  EXPECT_EQ(simulator.processed_events(), 8u);
+}
+
+TEST(Simulator, ReserveEventsPreservesBehavior) {
+  // reserve_events is a capacity hint: scheduling under, at, and past the
+  // reservation must fire exactly the same events in the same order as an
+  // unreserved kernel. (The allocation win itself is pinned by
+  // bench_kernel's allocs/event column, which a unit test cannot see.)
+  Simulator reserved;
+  Simulator plain;
+  reserved.reserve_events(16);
+  std::vector<int> from_reserved;
+  std::vector<int> from_plain;
+  for (int i = 0; i < 40; ++i) {  // 40 pending > the 16 reserved slots
+    const double time = static_cast<double>((i * 7) % 11);
+    reserved.schedule_at(time, [&from_reserved, i] {
+      from_reserved.push_back(i);
+    });
+    plain.schedule_at(time, [&from_plain, i] { from_plain.push_back(i); });
+  }
+  reserved.run_all();
+  plain.run_all();
+  EXPECT_EQ(from_reserved, from_plain);
+  EXPECT_EQ(reserved.processed_events(), 40u);
+  EXPECT_EQ(reserved.pending_events(), 0u);
 }
 
 TEST(Simulator, StressRandomScheduleIsMonotone) {

@@ -1,0 +1,13 @@
+// Fixture: std::function outside the hot-path layers (src/ but neither
+// sim/ nor core/) is fine — `hot-path-std-function` only polices the
+// per-event layers, and an explicit allow() marker silences it even there.
+#include <functional>
+
+namespace mstc::fixture {
+
+// A runner/tooling-layer callback: invoked once per sweep, not per event.
+struct ColdHooks {
+  std::function<void(int)> on_progress;
+};
+
+}  // namespace mstc::fixture

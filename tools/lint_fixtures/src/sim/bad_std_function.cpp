@@ -1,0 +1,22 @@
+// Fixture: std::function in src/sim/ (or src/core/) must be flagged by the
+// `hot-path-std-function` rule — spilled closures heap-allocate per event;
+// hot paths use sim::Handler (SBO) or a template parameter instead.
+#include <functional>
+#include <utility>
+
+namespace mstc::fixture {
+
+struct BadKernel {
+  std::function<void()> stored;
+
+  void bad_member(std::function<void()> handler) {
+    stored = std::move(handler);
+  }
+
+  void bad_local() {
+    std::function<int(int)> f = [](int x) { return x + 1; };
+    stored = [f] { (void)f(1); };
+  }
+};
+
+}  // namespace mstc::fixture

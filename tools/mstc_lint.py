@@ -27,6 +27,11 @@ those invariants (see docs/DEVELOPMENT.md):
                         src/obs/. Simulation state must depend on sim-time
                         only; wall time flows through obs::wall_now_ns() so
                         profiling stays an observability concern.
+  hot-path-std-function std::function in the event-kernel / controller hot
+                        path (src/sim/ and src/core/). Every std::function
+                        large enough to spill its closure heap-allocates on
+                        construction; the hot path must use sim::Handler
+                        (small-buffer optimized) or a template parameter.
 
 Suppression: append ``// mstc-lint: allow(<rule>)`` to the offending line or
 place it alone on the line directly above. Suppressions are deliberate,
@@ -74,6 +79,12 @@ RULES = {
         "state must depend on sim-time only; use obs::wall_now_ns() / "
         "obs::ScopedTimer for profiling"
     ),
+    "hot-path-std-function": (
+        "std::function in src/sim/ or src/core/: spilled closures "
+        "heap-allocate per event; use sim::Handler (SBO, "
+        "static_assert(fits_inline)) or take the callable as a template "
+        "parameter"
+    ),
 }
 
 RAW_RANDOM_RE = re.compile(
@@ -99,6 +110,8 @@ PARALLEL_REDUCE_RE = re.compile(
 )
 
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+
+STD_FUNCTION_RE = re.compile(r"std\s*::\s*function\s*<")
 
 WALL_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|"
@@ -182,6 +195,12 @@ def is_obs_unit(path: Path) -> bool:
     return "obs" in path.parts
 
 
+def is_hot_path(path: Path) -> bool:
+    """Event-kernel and controller layers where per-event allocation from
+    spilled std::function closures is banned."""
+    return "src" in path.parts and ("sim" in path.parts or "core" in path.parts)
+
+
 def unordered_container_names(stripped: str) -> set[str]:
     """Names declared (anywhere in the file) with an unordered type."""
     names: set[str] = set()
@@ -234,6 +253,9 @@ def lint_file(path: Path) -> list[Finding]:
         if (is_library_code(path) and not is_obs_unit(path)
                 and WALL_CLOCK_RE.search(line)):
             report(index, "wall-clock")
+
+        if is_hot_path(path) and STD_FUNCTION_RE.search(line):
+            report(index, "hot-path-std-function")
 
         if is_library_code(path) and unordered_names:
             for loop in RANGE_FOR_RE.finditer(line):

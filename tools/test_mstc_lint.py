@@ -22,8 +22,11 @@ EXPECTATIONS = {
     "bad_parallel_reduce.cpp": {"parallel-float-reduce"},
     "src/bad_iostream.cpp": {"iostream-in-lib"},
     "src/bad_wall_clock.cpp": {"wall-clock"},
+    "src/sim/bad_std_function.cpp": {"hot-path-std-function"},
     "src/good_clean.cpp": set(),
     "src/good_suppressed.cpp": set(),
+    "src/good_std_function_cold.cpp": set(),
+    "src/core/good_std_function_waived.cpp": set(),
 }
 
 
@@ -69,7 +72,7 @@ def main() -> int:
     if result.returncode != 0:
         failures.append("--list-rules exited nonzero")
     for rule in ("raw-random", "unordered-iteration", "parallel-float-reduce",
-                 "iostream-in-lib", "wall-clock"):
+                 "iostream-in-lib", "wall-clock", "hot-path-std-function"):
         if rule not in result.stdout:
             failures.append(f"--list-rules missing '{rule}'")
 
