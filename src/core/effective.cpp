@@ -13,16 +13,26 @@ bool can_deliver(const NodeController& from, const NodeController& to,
 graph::Graph effective_snapshot(std::span<const NodeController> controllers,
                                 std::span<const geom::Vec2> positions) {
   assert(controllers.size() == positions.size());
-  graph::Graph g(controllers.size());
-  for (std::size_t u = 0; u < controllers.size(); ++u) {
-    for (std::size_t v = u + 1; v < controllers.size(); ++v) {
-      const double d = geom::distance(positions[u], positions[v]);
-      if (can_deliver(controllers[u], controllers[v], d) &&
-          can_deliver(controllers[v], controllers[u], d)) {
-        g.add_edge(u, v, d);
-      }
-    }
-  }
+  const std::size_t n = controllers.size();
+  graph::Graph g(n);
+  // Cold path (tests, one-off analysis): local scratch is fine here. The
+  // per-tick measurement loop goes through metrics::measure_snapshot's
+  // reusable SnapshotScratch instead of building a Graph at all.
+  graph::SpatialGrid grid;
+  std::vector<std::size_t> candidates;
+  graph::SpatialGrid* grid_ptr = n >= kSnapshotGridMinNodes ? &grid : nullptr;
+  for_each_snapshot_candidates(
+      controllers, positions, grid_ptr, candidates,
+      [&](std::size_t u, const std::vector<std::size_t>& cand) {
+        for (const std::size_t v : cand) {
+          if (v <= u) continue;
+          const double d = geom::distance(positions[u], positions[v]);
+          if (can_deliver(controllers[u], controllers[v], d) &&
+              can_deliver(controllers[v], controllers[u], d)) {
+            g.add_edge(u, v, d);
+          }
+        }
+      });
   return g;
 }
 

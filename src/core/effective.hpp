@@ -6,12 +6,25 @@
 //    covered by both extended ranges (the paper's E'');
 //  - with physical neighbors: any pair covered by both extended ranges
 //    communicates bidirectionally, logical or not.
+//
+// Link enumeration is routed through graph::SpatialGrid above a crossover
+// fleet size under a bit-identity contract: grid queries with a
+// conservatively padded radius produce a guaranteed superset of every node
+// the exact range predicates can accept, in ascending index order, and the
+// caller re-applies the exact predicates — so both paths evaluate identical
+// predicates on identical values in identical order (identity argument in
+// docs/PERFORMANCE.md, differential suite in tests/metrics/).
 #pragma once
 
+#include <algorithm>
+#include <limits>
+#include <numeric>
 #include <span>
+#include <vector>
 
 #include "core/controller.hpp"
 #include "graph/graph.hpp"
+#include "graph/spatial_grid.hpp"
 
 namespace mstc::core {
 
@@ -27,5 +40,62 @@ namespace mstc::core {
 /// active at the *receiver* side (the receiver decides whether to drop).
 [[nodiscard]] bool can_deliver(const NodeController& from,
                                const NodeController& to, double distance);
+
+/// Fleets below this size stay on the brute-force scan in
+/// effective_snapshot (grid build overhead dominates under the crossover;
+/// mirrors sim::Medium::Config::grid_min_nodes).
+inline constexpr std::size_t kSnapshotGridMinNodes = 150;
+
+/// Grid query radius that conservatively covers `range` against the
+/// floating-point rounding of both exact predicates the snapshot layer
+/// re-applies afterwards: distance_sq(u, v) <= range * range (physical
+/// degree) and hypot-based distance(u, v) <= range (can_deliver). Each
+/// predicate's accepted set is contained in
+///   { v : fl(distance_sq) <= range^2 * (1 + 7eps) }
+/// while the grid accepts everything with fl(distance_sq) <= fl(rp^2),
+/// rp = range * (1 + 8eps), and fl(rp^2) >= range^2 * (1 + 12eps) — a
+/// strict superset either way (docs/PERFORMANCE.md works the bound).
+[[nodiscard]] constexpr double conservative_query_radius(
+    double range) noexcept {
+  return range * (1.0 + 8.0 * std::numeric_limits<double>::epsilon());
+}
+
+/// Candidate-enumeration harness shared by effective_snapshot and
+/// metrics::measure_snapshot: for each node u = 0..n-1 in ascending order,
+/// produces an ascending candidate index set that is a guaranteed superset
+/// of every node the exact range predicates can accept for u, then invokes
+/// visit(u, candidates). Candidates may include u itself; callers filter.
+///
+/// With `grid` null every candidate set is 0..n-1 — the brute-force scan,
+/// byte-identical to the pre-grid nested loop. Otherwise `grid` is rebuilt
+/// over `positions` (cell size = largest padded range) and queried with
+/// conservative_query_radius(extended_range(u)); the grid's sorted-output
+/// contract keeps the visit order identical to the brute path, so exact
+/// predicate re-application yields bit-identical results.
+template <typename Visit>
+void for_each_snapshot_candidates(std::span<const NodeController> controllers,
+                                  std::span<const geom::Vec2> positions,
+                                  graph::SpatialGrid* grid,
+                                  std::vector<std::size_t>& candidates,
+                                  Visit&& visit) {
+  const std::size_t n = controllers.size();
+  if (grid == nullptr) {
+    candidates.resize(n);
+    std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+    for (std::size_t u = 0; u < n; ++u) visit(u, candidates);
+    return;
+  }
+  double cell = 0.0;
+  for (const NodeController& c : controllers) {
+    cell = std::max(cell, conservative_query_radius(c.extended_range()));
+  }
+  grid->rebuild(positions, cell);  // cell == 0 is clamped by rebuild()
+  for (std::size_t u = 0; u < n; ++u) {
+    grid->query(positions[u],
+                conservative_query_radius(controllers[u].extended_range()),
+                candidates);
+    visit(u, candidates);
+  }
+}
 
 }  // namespace mstc::core

@@ -53,6 +53,23 @@ double pair_connectivity_ratio(const Graph& g) {
          static_cast<double>(n * (n - 1));
 }
 
+double pair_connectivity_ratio(
+    std::size_t node_count, std::span<const std::pair<NodeId, NodeId>> links,
+    UnionFind& scratch) {
+  if (node_count < 2) return 1.0;
+  scratch.reset(node_count);
+  for (const auto& [u, v] : links) scratch.unite(u, v);
+  std::size_t connected_pairs = 0;
+  for (std::size_t u = 0; u < node_count; ++u) {
+    if (scratch.find(u) == u) {  // component root: count its pairs once
+      const std::size_t s = scratch.component_size(u);
+      connected_pairs += s * (s - 1);
+    }
+  }
+  return static_cast<double>(connected_pairs) /
+         static_cast<double>(node_count * (node_count - 1));
+}
+
 std::vector<NodeId> reachable_from(const Graph& g, NodeId source) {
   std::vector<bool> seen(g.node_count(), false);
   std::vector<NodeId> order;

@@ -3,9 +3,12 @@
 #pragma once
 
 #include <limits>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/union_find.hpp"
 
 namespace mstc::graph {
 
@@ -20,6 +23,16 @@ namespace mstc::graph {
 /// 1.0 for a connected graph, and the paper's "strict connectivity ratio"
 /// for a snapshot. Returns 1.0 for graphs with fewer than two nodes.
 [[nodiscard]] double pair_connectivity_ratio(const Graph& g);
+
+/// Same ratio over an explicit undirected link list, without materializing
+/// a Graph: unites each link in `scratch` and sums s*(s-1) over component
+/// sizes. The ratio is a pure function of the component partition, so this
+/// returns the exact double pair_connectivity_ratio(Graph) would for the
+/// graph those links induce — the snapshot fast path and routing::epidemic
+/// rely on that bit-identity. `scratch` is reset to node_count sets.
+[[nodiscard]] double pair_connectivity_ratio(
+    std::size_t node_count, std::span<const std::pair<NodeId, NodeId>> links,
+    UnionFind& scratch);
 
 /// Set of nodes reachable from `source` (including the source).
 [[nodiscard]] std::vector<NodeId> reachable_from(const Graph& g, NodeId source);

@@ -9,7 +9,18 @@ namespace mstc::graph {
 
 class UnionFind {
  public:
-  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+  /// Empty forest; reset() before use.
+  UnionFind() = default;
+
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  /// Re-initializes to n singleton sets, reusing the arrays' capacity —
+  /// allocation-free at steady state once the buffers have grown to the
+  /// largest n seen (snapshot measurement resets one forest per tick).
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    size_.assign(n, 1);
+    components_ = n;
     std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   }
 
@@ -48,7 +59,7 @@ class UnionFind {
  private:
   std::vector<std::size_t> parent_;
   std::vector<std::size_t> size_;
-  std::size_t components_;
+  std::size_t components_ = 0;
 };
 
 }  // namespace mstc::graph

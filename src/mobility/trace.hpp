@@ -5,8 +5,15 @@
 // snapshots) therefore observe physically consistent node positions. The
 // location staleness the paper studies arises purely from *when* a position
 // was advertised, never from simulator interpolation error.
+//
+// A Trace is immutable after construction and safe to share across threads
+// (mobility::TraceCache hands one generated set to every sweep point with
+// identical mobility inputs). The leg-cursor fast path lives in
+// caller-owned state — sim::Medium keeps one cursor per node — so sharing
+// involves no mutation at all.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -27,8 +34,16 @@ class Trace {
   /// Legs must be sorted by start_time with legs.front().start_time == 0.
   Trace(std::vector<Leg> legs, double duration);
 
-  /// Exact position at time t; t is clamped to [0, duration].
+  /// Exact position at time t; t is clamped to [0, duration]. Binary
+  /// search over the legs, O(log legs).
   [[nodiscard]] geom::Vec2 position(double t) const noexcept;
+
+  /// Same result, amortized O(1) for loosely increasing t: `cursor` is a
+  /// caller-owned leg-index hint, advanced in place (start it at 0). The
+  /// hint only seeds the search — any cursor value yields the same
+  /// position — so per-caller cursors keep shared traces immutable.
+  [[nodiscard]] geom::Vec2 position(double t,
+                                    std::size_t& cursor) const noexcept;
 
   /// Largest leg speed; the adaptive buffer zone uses this bound.
   [[nodiscard]] double max_speed() const noexcept { return max_speed_; }
@@ -46,10 +61,6 @@ class Trace {
   std::vector<Leg> legs_;
   double duration_ = 0.0;
   double max_speed_ = 0.0;
-  // Hot-path cache: queries arrive in loosely increasing time order, so the
-  // last leg index is usually right. mutable + benign data race is avoided
-  // by copying traces per thread; sweeps never share a Trace across threads.
-  mutable std::size_t cursor_ = 0;
 };
 
 /// Rectangular deployment area [0, width] x [0, height].

@@ -1,0 +1,55 @@
+#include "mobility/trace_cache.hpp"
+
+#include <utility>
+
+namespace mstc::mobility {
+
+std::shared_ptr<const TraceSet> TraceCache::get(
+    const TraceKey& key, const std::function<TraceSet()>& generate,
+    bool* generated) {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      insertion_order_.push_back(key);
+      // FIFO eviction keeps the map bounded across long sweep campaigns.
+      // Evicted sets survive in any Scenario that still holds them; a
+      // re-request simply regenerates the identical set (generation is
+      // pure in the key), so eviction policy cannot change results.
+      while (insertion_order_.size() > max_entries_) {
+        entries_.erase(insertion_order_.front());
+        insertion_order_.pop_front();
+      }
+    }
+    entry = it->second;
+  }
+  // Single-flight generation outside the map lock: same-key callers block
+  // here until the elected generator finishes; other keys proceed freely.
+  bool ran_generator = false;
+  std::call_once(entry->once, [&] {
+    entry->traces = std::make_shared<const TraceSet>(generate());
+    ran_generator = true;
+  });
+  if (generated != nullptr) *generated = ran_generator;
+  return entry->traces;
+}
+
+std::size_t TraceCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void TraceCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+TraceCache& TraceCache::global() {
+  static TraceCache cache;
+  return cache;
+}
+
+}  // namespace mstc::mobility

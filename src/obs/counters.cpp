@@ -46,8 +46,14 @@ const char* counter_name(Counter counter) noexcept {
       return "epidemic_deliveries";
     case Counter::kSnapshots:
       return "snapshots";
+    case Counter::kSnapshotLinksExamined:
+      return "snapshot_links_examined";
     case Counter::kSimEventsScheduled:
       return "sim_events_scheduled";
+    case Counter::kTraceCacheHits:
+      return "trace_cache_hits";
+    case Counter::kTraceCacheMisses:
+      return "trace_cache_misses";
     case Counter::kCount:
       break;
   }

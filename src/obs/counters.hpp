@@ -42,7 +42,10 @@ enum class Counter : std::size_t {
   kEpidemicTransfers,     ///< epidemic copies handed to a new carrier
   kEpidemicDeliveries,    ///< epidemic messages reaching their destination
   kSnapshots,             ///< strict-connectivity snapshots taken
+  kSnapshotLinksExamined,  ///< exact link checks performed by snapshots
   kSimEventsScheduled,    ///< events pushed into the simulator's queue
+  kTraceCacheHits,        ///< scenario trace sets served from the cache
+  kTraceCacheMisses,      ///< scenario trace sets generated on demand
   kCount                  // sentinel
 };
 

@@ -10,6 +10,8 @@ const char* category_name(Category category) noexcept {
   switch (category) {
     case Category::kSetup:
       return "setup";
+    case Category::kTraceGen:
+      return "trace_gen";
     case Category::kBeaconing:
       return "beaconing";
     case Category::kSyncFlood:

@@ -20,6 +20,7 @@ namespace mstc::obs {
 /// Handler categories timed by the simulation runner.
 enum class Category : std::size_t {
   kSetup,      ///< scenario construction (traces, controllers, wiring)
+  kTraceGen,   ///< mobility trace acquisition (subset of kSetup's span)
   kBeaconing,  ///< Hello send handlers (async / proactive rounds)
   kSyncFlood,  ///< reactive synchronization-flood handlers
   kDataFlood,  ///< data-flood start/forward/deliver/score handlers

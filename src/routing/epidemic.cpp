@@ -181,12 +181,12 @@ class EpidemicSim {
   void schedule_snapshots() {
     for (double t = 0.0; t <= cfg_.duration; t += 5.0) {
       simulator_.schedule_at(t, [this] {
-        graph::Graph g(cfg_.node_count);
+        // Union-find over the enumerated links — same double as building a
+        // Graph and BFS-labeling it (the snapshot fast path's contract),
+        // without the per-snapshot Graph allocation.
         medium_.links_within(cfg_.range, simulator_.now(), links_buffer_);
-        for (const auto& [u, v] : links_buffer_) {
-          g.add_edge(u, v);
-        }
-        connectivity_.add(graph::pair_connectivity_ratio(g));
+        connectivity_.add(graph::pair_connectivity_ratio(
+            cfg_.node_count, links_buffer_, components_scratch_));
       });
     }
   }
@@ -204,6 +204,7 @@ class EpidemicSim {
   std::vector<std::vector<char>> seen_;  // per message: node has a copy
   std::vector<NodeId> contact_buffer_;
   std::vector<std::pair<NodeId, NodeId>> links_buffer_;
+  graph::UnionFind components_scratch_;
   util::Summary connectivity_;
 };
 

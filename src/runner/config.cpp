@@ -21,6 +21,8 @@ ScenarioConfig apply_env_overrides(ScenarioConfig base) {
   base.warmup = util::env_or("MSTC_WARMUP", base.warmup);
   if (util::env_flag("MSTC_MEDIUM_BRUTE")) base.medium_brute_force = true;
   if (util::env_flag("MSTC_NO_RECOMPUTE_CACHE")) base.recompute_cache = false;
+  if (util::env_flag("MSTC_SNAPSHOT_BRUTE")) base.snapshot_brute_force = true;
+  if (util::env_flag("MSTC_NO_TRACE_CACHE")) base.trace_cache = false;
   return base;
 }
 

@@ -57,6 +57,18 @@ struct ScenarioConfig {
   /// byte-compares cache-on vs cache-off sweeps). Kept as an escape hatch
   /// mirroring medium_brute_force. Env: MSTC_NO_RECOMPUTE_CACHE=1.
   bool recompute_cache = true;
+  /// Measure snapshots with the brute-force O(n^2) pair scan instead of
+  /// the grid-backed fast path. Byte-identical either way (differential
+  /// suite tests/metrics/snapshot_grid_test.cpp); kept for A/B
+  /// benchmarking (bench_snapshot baseline). Env: MSTC_SNAPSHOT_BRUTE=1.
+  bool snapshot_brute_force = false;
+  /// Serve the mobility trace set from the process-wide
+  /// mobility::TraceCache (sweep points differing only in protocol / mode
+  /// / buffer share one immutable set). Generation is pure in the cache
+  /// key, so a hit is bit-identical to a regeneration — pinned by
+  /// Determinism.TraceCacheSharedMatchesPerReplication. Env escape hatch:
+  /// MSTC_NO_TRACE_CACHE=1.
+  bool trace_cache = true;
 
   // --- workload & measurement ---
   double duration = 30.0;       ///< simulated seconds

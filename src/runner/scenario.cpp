@@ -9,9 +9,11 @@
 #include "mac/channel.hpp"
 #include "metrics/snapshot.hpp"
 #include "mobility/models.hpp"
+#include "mobility/trace_cache.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 #include "topology/protocol.hpp"
+#include "util/options.hpp"
 #include "util/prng.hpp"
 
 namespace mstc::runner {
@@ -48,17 +50,44 @@ std::unique_ptr<mobility::MobilityModel> make_mobility(
   throw std::invalid_argument("unknown mobility model: " + cfg.mobility_model);
 }
 
+/// Obtains the replication's immutable trace set — from the process-wide
+/// TraceCache when enabled (sweep points differing only in protocol /
+/// mode / buffer share one set), generated privately otherwise.
+/// Generation is pure in (mobility inputs, derived seed), so the two
+/// sources are bit-identical and MSTC_NO_TRACE_CACHE=1 / trace_cache =
+/// false is a pure wall-clock escape hatch.
+std::shared_ptr<const mobility::TraceSet> acquire_traces(
+    const ScenarioConfig& cfg, const obs::Probe& probe) {
+  const obs::ScopedTimer timer(probe.profiler(), obs::Category::kTraceGen);
+  const std::uint64_t seed = util::derive_seed(cfg.seed, 0xA11CE);
+  const auto generate = [&cfg, seed] {
+    return mobility::generate_traces(*make_mobility(cfg), cfg.node_count,
+                                     cfg.duration, seed);
+  };
+  if (!cfg.trace_cache || util::env_flag("MSTC_NO_TRACE_CACHE")) {
+    probe.count(obs::Counter::kTraceCacheMisses);
+    return std::make_shared<const mobility::TraceSet>(generate());
+  }
+  const mobility::TraceKey key{cfg.mobility_model, cfg.area.width,
+                               cfg.area.height,    cfg.average_speed,
+                               cfg.node_count,     cfg.duration,
+                               seed};
+  bool generated = false;
+  auto traces = mobility::TraceCache::global().get(key, generate, &generated);
+  probe.count(generated ? obs::Counter::kTraceCacheMisses
+                        : obs::Counter::kTraceCacheHits);
+  return traces;
+}
+
 class Scenario {
  public:
   Scenario(const ScenarioConfig& cfg, obs::RunObservation* observation)
       : cfg_(cfg),
         probe_(observation),
-        traces_(mobility::generate_traces(
-            *make_mobility(cfg), cfg.node_count, cfg.duration,
-            util::derive_seed(cfg.seed, 0xA11CE))),
-        medium_(traces_, {.propagation_delay = kPropagationDelay,
-                          .brute_force = cfg.medium_brute_force,
-                          .grid_min_nodes = cfg.medium_grid_min_nodes}),
+        traces_(acquire_traces(cfg, probe_)),
+        medium_(*traces_, {.propagation_delay = kPropagationDelay,
+                           .brute_force = cfg.medium_brute_force,
+                           .grid_min_nodes = cfg.medium_grid_min_nodes}),
         suite_(topology::make_protocol(cfg.protocol)),
         beacon_rng_(util::derive_seed(cfg.seed, 0xBEAC0)),
         traffic_rng_(util::derive_seed(cfg.seed, 0x7AFF1C)),
@@ -303,6 +332,12 @@ class Scenario {
   void start_flood(std::size_t index) {
     const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kDataFlood);
     Flood& flood = floods_[index];
+    // Reuse a retired membership vector (finish_flood's free list) so the
+    // overlapping-flood steady state allocates nothing.
+    if (!flood_pool_.empty()) {
+      flood.received = std::move(flood_pool_.back());
+      flood_pool_.pop_back();
+    }
     flood.received.assign(nodes_.size(), 0);
     const NodeId source = traffic_rng_.uniform_below(nodes_.size());
     flood.received[source] = 1;
@@ -378,8 +413,11 @@ class Scenario {
     probe_.observe(obs::Hist::kFloodDeliveryRatio, ratio);
     probe_.trace(obs::EventKind::kFloodScored, simulator_.now(), 0, ratio,
                  index);
+    // Park the membership vector on the free list for the next flood;
+    // clear() (not shrink_to_fit) leaves this slot in the empty state
+    // deliver_flood reads as "already scored and released".
+    flood_pool_.push_back(std::move(floods_[index].received));
     floods_[index].received.clear();
-    floods_[index].received.shrink_to_fit();
   }
 
   // --- snapshots -------------------------------------------------------
@@ -395,7 +433,14 @@ class Scenario {
   void take_snapshot() {
     const obs::ScopedTimer timer(probe_.profiler(), obs::Category::kSnapshot);
     medium_.positions(simulator_.now(), position_buffer_);
-    const auto stats = metrics::measure_snapshot(nodes_, position_buffer_);
+    // Grid-backed, scratch-reusing measurement; shares the medium's
+    // crossover threshold so medium_grid_min_nodes = 0 forces both grids
+    // on in the differential suites.
+    const auto stats = metrics::measure_snapshot(
+        nodes_, position_buffer_, snapshot_scratch_,
+        {.brute_force = cfg_.snapshot_brute_force,
+         .grid_min_nodes = cfg_.medium_grid_min_nodes},
+        &probe_);
     strict_.add(stats.strict_connectivity);
     range_.add(stats.mean_range);
     logical_degree_.add(stats.mean_logical_degree);
@@ -411,7 +456,9 @@ class Scenario {
 
   ScenarioConfig cfg_;
   obs::Probe probe_;
-  std::vector<mobility::Trace> traces_;
+  // Immutable, possibly shared with concurrent replications (TraceCache);
+  // must be declared before medium_, which aliases it.
+  std::shared_ptr<const mobility::TraceSet> traces_;
   sim::Medium medium_;
   sim::Simulator simulator_;
   topology::ProtocolSuite suite_;
@@ -430,9 +477,11 @@ class Scenario {
   util::Xoshiro256 backoff_rng_;
 
   std::vector<Flood> floods_;
+  std::vector<std::vector<char>> flood_pool_;  // retired `received` vectors
   std::vector<NodeId> receiver_buffer_;
   std::vector<NodeId> forward_targets_;
   std::vector<geom::Vec2> position_buffer_;
+  metrics::SnapshotScratch snapshot_scratch_;
 
   util::Summary delivery_;
   util::Summary strict_;

@@ -13,6 +13,7 @@ Medium::Medium(std::span<const mobility::Trace> traces, Config config)
   for (const mobility::Trace& trace : traces_) {
     max_speed_ = std::max(max_speed_, trace.max_speed());
   }
+  trace_cursors_.assign(traces_.size(), 0);
 }
 
 void Medium::assert_single_thread() const noexcept {
@@ -103,7 +104,11 @@ void Medium::links_within(double range, double t,
   if (config_.brute_force || traces_.empty() ||
       traces_.size() < config_.grid_min_nodes) {
     positions(t, scratch_positions_);
+    // The deliberate brute-force baseline behind MSTC_MEDIUM_BRUTE and the
+    // small-fleet crossover; the differential suites compare the grid
+    // against exactly this loop.
     for (NodeId u = 0; u < scratch_positions_.size(); ++u) {
+      // mstc-lint: allow(all-pairs-scan)
       for (NodeId v = u + 1; v < scratch_positions_.size(); ++v) {
         ++checks;
         if (geom::distance_sq(scratch_positions_[u], scratch_positions_[v]) <=

@@ -18,10 +18,12 @@
 //
 // Threading: a Medium is strictly per-replication. Queries are logically
 // const but mutate internal caches (the spatial index, position scratch,
-// and each Trace's leg cursor), so a Medium — even a const one — must
-// never be shared across threads. Parallel sweeps give every replication
-// its own traces and medium; debug builds assert the invariant by pinning
-// the medium to the first querying thread.
+// and the per-node trace-leg cursors), so a Medium — even a const one —
+// must never be shared across threads; debug builds assert the invariant
+// by pinning the medium to the first querying thread. The *traces* behind
+// it, in contrast, are immutable and safely shared: parallel sweeps hand
+// one mobility::TraceCache set to many per-replication Mediums, each
+// keeping its own cursor array.
 #pragma once
 
 #include <cstdint>
@@ -79,9 +81,12 @@ class Medium {
   /// conservative candidate radius is derived from it.
   [[nodiscard]] double max_speed() const noexcept { return max_speed_; }
 
-  /// Ground-truth position of a node at time t.
+  /// Ground-truth position of a node at time t. Served through this
+  /// medium's leg-cursor array (amortized O(1) for the loosely increasing
+  /// times the event loop produces) — the cursors are a per-Medium cache,
+  /// never part of the shared Trace.
   [[nodiscard]] geom::Vec2 position(NodeId node, double t) const noexcept {
-    return traces_[node].position(t);
+    return traces_[node].position(t, trace_cursors_[node]);
   }
 
   /// Ground-truth distance between two nodes at time t.
@@ -135,6 +140,7 @@ class Medium {
   mutable bool grid_valid_ = false;
   mutable std::vector<std::size_t> candidate_buffer_;
   mutable std::vector<geom::Vec2> scratch_positions_;  ///< links_within SoA
+  mutable std::vector<std::size_t> trace_cursors_;     ///< per-node leg hints
   mutable bool query_thread_set_ = false;
   mutable std::thread::id query_thread_;
 };

@@ -59,7 +59,11 @@ graph::Graph original_graph(std::span<const geom::Vec2> positions,
                             double normal_range) {
   graph::Graph g(positions.size());
   const double range_sq = normal_range * normal_range;
+  // Cold analysis path (property tests / one-off topology studies), never
+  // inside the per-tick loop; keeping the plain scan makes it the oracle
+  // other paths are compared against.
   for (NodeId u = 0; u < positions.size(); ++u) {
+    // mstc-lint: allow(all-pairs-scan)
     for (NodeId v = u + 1; v < positions.size(); ++v) {
       const double d_sq = geom::distance_sq(positions[u], positions[v]);
       if (d_sq <= range_sq) g.add_edge(u, v, std::sqrt(d_sq));

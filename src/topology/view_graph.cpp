@@ -58,7 +58,10 @@ ViewGraph make_consistent_view(std::span<const geom::Vec2> positions,
     view.set_id(v, ids[members[v]]);
     view.set_representative(v, positions[members[v]]);
   }
-  for (std::size_t a = 0; a < members.size(); ++a) {
+  // Pairs over one node's *local view* (~density members), not the fleet —
+  // quadratic in neighborhood size by design, like the protocols that
+  // consume the view. The trailing marker also covers the inner loop.
+  for (std::size_t a = 0; a < members.size(); ++a) {  // mstc-lint: allow(all-pairs-scan)
     for (std::size_t b = a + 1; b < members.size(); ++b) {
       const double d =
           geom::distance(positions[members[a]], positions[members[b]]);

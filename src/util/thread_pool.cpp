@@ -67,23 +67,47 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t default_parallel_chunk(std::size_t n, std::size_t workers) {
+  const auto env_chunk = env_or("MSTC_PARALLEL_CHUNK", std::int64_t{0});
+  if (env_chunk > 0) return static_cast<std::size_t>(env_chunk);
+  if (workers == 0) return 1;
+  // ~8 grabs per worker: enough dynamic slack to absorb skewed per-index
+  // costs (sweep replications vary widely), few enough counter grabs to
+  // stay cheap when n is large and bodies are tiny.
+  return std::max<std::size_t>(1, n / (8 * workers));
+}
+
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(pool, n,
+                       default_parallel_chunk(n, pool.thread_count()), body);
+}
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  if (chunk == 0) chunk = default_parallel_chunk(n, pool.thread_count());
   if (pool.thread_count() == 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  // Dynamic chunking via a shared counter: threads grab one index at a time,
-  // which balances the (often skewed) per-run costs of a sweep.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t workers = std::min(pool.thread_count(), n);
+  // Dynamic scheduling over contiguous chunks: each grab of the shared
+  // counter claims indices [c * chunk, min(n, (c+1) * chunk)), so the only
+  // per-chunk cost is one fetch_add. One task per participating worker —
+  // parallel_for itself performs O(workers) queue operations regardless of
+  // n. The counter lives on this frame: wait_idle() below guarantees every
+  // worker task has returned before the frame unwinds.
+  const std::size_t chunk_count = (n + chunk - 1) / chunk;
+  std::atomic<std::size_t> next_chunk{0};
+  const std::size_t workers = std::min(pool.thread_count(), chunk_count);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([next, n, &body] {
+    pool.submit([&next_chunk, chunk_count, chunk, n, &body] {
       for (;;) {
-        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        body(i);
+        const std::size_t c =
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunk_count) return;
+        const std::size_t end = std::min(n, (c + 1) * chunk);
+        for (std::size_t i = c * chunk; i < end; ++i) body(i);
       }
     });
   }

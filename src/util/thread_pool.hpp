@@ -55,8 +55,30 @@ class ThreadPool {
 
 /// Runs body(i) for i in [0, n) across the pool and waits for completion.
 /// body must be safe to invoke concurrently for distinct indices.
+///
+/// Work is handed out as contiguous index chunks through a shared atomic
+/// chunk counter, with one submitted pool task per participating worker —
+/// scheduling never allocates per index. Which worker runs which chunk is
+/// nondeterministic, but every index runs exactly once and results land in
+/// caller-owned pre-sized slots, so outputs are bit-identical to a serial
+/// loop for any chunk size (the determinism suite asserts it).
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
+
+/// parallel_for with an explicit chunk size (indices per counter grab).
+/// chunk == 0 picks the default heuristic; chunk == 1 is the maximally
+/// balanced escape hatch (one index per grab, the pre-chunking behavior).
+/// Larger chunks amortize counter traffic for cheap bodies at the price of
+/// coarser load balancing.
+void parallel_for_chunked(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)>& body);
+
+/// Chunk size parallel_for uses for `n` indices on `workers` threads when
+/// none is given: keeps ~8 grabs per worker for load balancing while
+/// bounding counter traffic, so small sweeps (n <= 8 * workers) stay at
+/// chunk 1 and huge index spaces scale. Env override: MSTC_PARALLEL_CHUNK.
+[[nodiscard]] std::size_t default_parallel_chunk(std::size_t n,
+                                                 std::size_t workers);
 
 /// Process-wide pool sized from MSTC_THREADS (default: hardware threads).
 [[nodiscard]] ThreadPool& global_pool();

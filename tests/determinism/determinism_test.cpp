@@ -12,10 +12,12 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "metrics/aggregate.hpp"
+#include "mobility/trace_cache.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
 #include "util/prng.hpp"
@@ -194,6 +196,75 @@ TEST(Determinism, RecomputeCacheOnMatchesOff) {
   ASSERT_EQ(pooled_on, serial_on);
   ASSERT_EQ(pooled_off, serial_on)
       << "recompute cache changed pooled simulation results";
+}
+
+TEST(Determinism, SnapshotGridMatchesBruteForceByteForByte) {
+  // The snapshot fast path (PR 5) mirrors the medium's contract: padded
+  // grid candidate sets + exact predicate confirmation + union-find
+  // connectivity must reproduce the brute-force measurement exactly, for
+  // whole sweeps, not just isolated fleets (the differential suite covers
+  // those). grid_min_nodes = 0 forces the snapshot grid on representative
+  // fleets that sit below the crossover.
+  auto configs = representative_configs();
+  for (auto& config : configs) config.medium_grid_min_nodes = 0;
+  util::ThreadPool pool(3);
+  const auto grid = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  for (auto& config : configs) config.snapshot_brute_force = true;
+  const auto brute = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  ASSERT_EQ(grid, brute)
+      << "grid-backed snapshots diverged from the brute-force measurement";
+}
+
+TEST(Determinism, TraceCacheSharedMatchesPerReplication) {
+  // Replications of one sweep point share a mobility TraceSet through
+  // mobility::TraceCache (PR 5). Generation is pure in the cache key, so
+  // cache-on sweeps must byte-compare against sweeps that regenerate
+  // per replication (the MSTC_NO_TRACE_CACHE=1 escape hatch) — any
+  // divergence means the key misses an input trace generation reads, or a
+  // shared consumer mutated the set.
+  const auto configs = representative_configs();
+  util::ThreadPool pool(3);
+  mobility::TraceCache::global().clear();
+  const auto shared = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+  // The representative configs differ only in protocol / mode / MAC — none
+  // of which the trace key reads — so all three share one set per
+  // replication seed: exactly kRepeats generations for the whole batch.
+  // This is the setup saving the bench's amortization row quantifies.
+  EXPECT_EQ(mobility::TraceCache::global().size(), kRepeats);
+
+  ASSERT_EQ(setenv("MSTC_NO_TRACE_CACHE", "1", 1), 0);
+  const auto regenerated =
+      bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+  ASSERT_EQ(unsetenv("MSTC_NO_TRACE_CACHE"), 0);
+
+  ASSERT_EQ(shared, regenerated)
+      << "trace-cache sharing changed simulation results";
+
+  // Belt and braces: the config-level switch takes the same path.
+  auto uncached = configs;
+  for (auto& config : uncached) config.trace_cache = false;
+  const auto config_off =
+      bit_snapshot(run_batch_raw(uncached, kRepeats, pool));
+  ASSERT_EQ(shared, config_off);
+}
+
+TEST(Determinism, ChunkSizeOneSweepMatchesDefaultChunking) {
+  // parallel_for hands out contiguous index chunks (PR 5); chunk size is
+  // pure scheduling, so MSTC_PARALLEL_CHUNK=1 — the pre-chunking one-index-
+  // per-grab behavior — must byte-match the default heuristic.
+  const auto configs = representative_configs();
+  util::ThreadPool pool(3);
+  const auto chunked = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  ASSERT_EQ(setenv("MSTC_PARALLEL_CHUNK", "1", 1), 0);
+  const auto unchunked =
+      bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+  ASSERT_EQ(unsetenv("MSTC_PARALLEL_CHUNK"), 0);
+
+  ASSERT_EQ(chunked, unchunked)
+      << "chunk granularity changed sweep results";
 }
 
 TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {

@@ -1,0 +1,107 @@
+#include "mobility/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+
+#include "mobility/models.hpp"
+
+namespace mstc::mobility {
+namespace {
+
+TraceKey key_for(std::uint64_t seed, std::size_t nodes = 10) {
+  return TraceKey{.model = "waypoint",
+                  .area_width = 900.0,
+                  .area_height = 900.0,
+                  .average_speed = 10.0,
+                  .node_count = nodes,
+                  .duration = 5.0,
+                  .seed = seed};
+}
+
+TraceSet generate_for(const TraceKey& key) {
+  const auto model = make_paper_waypoint(
+      {key.area_width, key.area_height}, key.average_speed);
+  return generate_traces(*model, key.node_count, key.duration, key.seed);
+}
+
+TEST(TraceCache, SecondGetForSameKeyReturnsSameSetWithoutGenerating) {
+  TraceCache cache;
+  const TraceKey key = key_for(1);
+  bool generated = false;
+  const auto first = cache.get(key, [&] { return generate_for(key); },
+                               &generated);
+  EXPECT_TRUE(generated);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->size(), key.node_count);
+
+  const auto second = cache.get(
+      key, [&]() -> TraceSet { ADD_FAILURE() << "generator re-ran on a hit";
+                               return {}; },
+      &generated);
+  EXPECT_FALSE(generated);
+  EXPECT_EQ(first, second) << "hit did not return the shared set";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCache, DistinctKeysGetDistinctSets) {
+  TraceCache cache;
+  const TraceKey a = key_for(1);
+  // Every field participates in the key; a one-field difference must miss.
+  TraceKey b = a;
+  b.duration = 6.0;
+  const auto set_a = cache.get(a, [&] { return generate_for(a); });
+  const auto set_b = cache.get(b, [&] { return generate_for(b); });
+  EXPECT_NE(set_a, set_b);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCache, EvictionKeepsHandedOutSetsAlive) {
+  TraceCache cache(2);
+  const TraceKey first_key = key_for(1);
+  const auto first = cache.get(first_key,
+                               [&] { return generate_for(first_key); });
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    const TraceKey key = key_for(seed);
+    (void)cache.get(key, [&] { return generate_for(key); });
+  }
+  EXPECT_EQ(cache.size(), 2u) << "FIFO eviction did not bound the cache";
+  // The evicted set stays valid for as long as we hold the shared_ptr.
+  EXPECT_EQ(first->size(), first_key.node_count);
+
+  // Re-getting the evicted key regenerates (a miss, not a stale hit).
+  bool generated = false;
+  const auto again = cache.get(first_key,
+                               [&] { return generate_for(first_key); },
+                               &generated);
+  EXPECT_TRUE(generated);
+  // Regeneration is pure in the key: same trajectories, new allocation.
+  ASSERT_EQ(again->size(), first->size());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    const geom::Vec2 a = (*first)[i].position(3.25);
+    const geom::Vec2 b = (*again)[i].position(3.25);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+  }
+}
+
+TEST(TraceCache, ClearEmptiesTheCache) {
+  TraceCache cache;
+  const TraceKey key = key_for(1);
+  const auto held = cache.get(key, [&] { return generate_for(key); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(held->size(), key.node_count);  // handed-out sets survive clear()
+
+  bool generated = false;
+  (void)cache.get(key, [&] { return generate_for(key); }, &generated);
+  EXPECT_TRUE(generated);
+}
+
+TEST(TraceCache, GlobalIsASingleton) {
+  EXPECT_EQ(&TraceCache::global(), &TraceCache::global());
+}
+
+}  // namespace
+}  // namespace mstc::mobility

@@ -2,13 +2,14 @@
 // label "concurrency", part of the TSan subset).
 //
 // The medium's query path mutates internal caches — the spatial index,
-// position scratch buffers, and every Trace's mutable leg cursor — so
-// replications must never share traces or a Medium across threads. This
-// test runs grid-backed sweeps on the thread pool the way sweeps are meant
-// to: each task owns its traces and its Medium. Under TSan this proves the
-// construction is race-free; the checksum compare proves the per-thread
-// results are byte-identical to a serial run. (Debug builds additionally
-// assert inside sim::Medium that no instance is queried from two threads.)
+// position scratch buffers, and the per-node trace-leg cursors — so a
+// Medium must never be shared across threads (immutable traces may be:
+// see trace_cache_concurrency_test). This test runs grid-backed sweeps on
+// the thread pool the way sweeps are meant to: each task owns its Medium.
+// Under TSan this proves the construction is race-free; the checksum
+// compare proves the per-thread results are byte-identical to a serial
+// run. (Debug builds additionally assert inside sim::Medium that no
+// instance is queried from two threads.)
 #include <gtest/gtest.h>
 
 #include <cstdint>

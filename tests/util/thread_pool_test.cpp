@@ -69,6 +69,55 @@ TEST(ParallelFor, ReusablePoolAcrossCalls) {
   EXPECT_EQ(total.load(), 5 * (99 * 100 / 2));
 }
 
+TEST(ParallelForChunked, EveryChunkSizeVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  // 1 = pre-chunking escape hatch, 3 = uneven tail chunk, 0 = default
+  // heuristic, 1000 = single chunk larger than n.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{0}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> visits(257);  // prime-ish, uneven tail
+    parallel_for_chunked(pool, visits.size(), chunk,
+                         [&visits](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      ASSERT_EQ(visits[i].load(), 1)
+          << "index " << i << " with chunk size " << chunk;
+    }
+  }
+}
+
+TEST(ParallelForChunked, ChunkSizeDoesNotChangeSlotResults) {
+  // The determinism contract: slot-based outputs are bit-identical to a
+  // serial loop for *any* chunk size.
+  ThreadPool pool(8);
+  const auto body = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i % 60; ++k) {
+      acc += static_cast<double>(k) * 1e-3;
+    }
+    return acc;
+  };
+  std::vector<double> serial(400);
+  for (std::size_t i = 0; i < serial.size(); ++i) serial[i] = body(i);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{0}, std::size_t{400}}) {
+    std::vector<double> out(serial.size(), -1.0);
+    parallel_for_chunked(pool, out.size(), chunk,
+                         [&](std::size_t i) { out[i] = body(i); });
+    EXPECT_EQ(out, serial) << "chunk size " << chunk;
+  }
+}
+
+TEST(DefaultParallelChunk, HeuristicKeepsSmallSweepsMaximallyBalanced) {
+  // n <= 8 * workers -> chunk 1 (a sweep of a few dozen replications
+  // should never serialize two onto one grab).
+  EXPECT_EQ(default_parallel_chunk(16, 4), 1u);
+  EXPECT_EQ(default_parallel_chunk(32, 4), 1u);
+  // Large index spaces amortize: ~8 grabs per worker.
+  EXPECT_EQ(default_parallel_chunk(3200, 4), 100u);
+  EXPECT_GE(default_parallel_chunk(0, 4), 1u);
+  EXPECT_GE(default_parallel_chunk(100, 0), 1u);
+}
+
 TEST(GlobalPool, IsSingletonAndUsable) {
   ThreadPool& a = global_pool();
   ThreadPool& b = global_pool();

@@ -1,0 +1,22 @@
+// Fixture: nested index loops over a fleet positions array — the O(n^2)
+// scan the all-pairs-scan rule exists to catch.
+#include <cstddef>
+#include <vector>
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+std::size_t count_close_pairs(const std::vector<Vec2>& positions,
+                              double range_sq) {
+  std::size_t close = 0;
+  for (std::size_t u = 0; u < positions.size(); ++u) {
+    for (std::size_t v = u + 1; v < positions.size(); ++v) {
+      const double dx = positions[u].x - positions[v].x;
+      const double dy = positions[u].y - positions[v].y;
+      if (dx * dx + dy * dy <= range_sq) ++close;
+    }
+  }
+  return close;
+}

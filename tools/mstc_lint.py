@@ -32,6 +32,14 @@ those invariants (see docs/DEVELOPMENT.md):
                         large enough to spill its closure heap-allocates on
                         construction; the hot path must use sim::Handler
                         (small-buffer optimized) or a template parameter.
+  all-pairs-scan        nested index loops touching fleet positions /
+                        controllers arrays in library code. O(n^2) scans
+                        over the fleet belong behind graph::SpatialGrid
+                        candidate sets (sim::Medium,
+                        core::for_each_snapshot_candidates); deliberate
+                        brute-force baselines carry a suppression with a
+                        justification. The spatial-grid implementation
+                        itself is exempt by path.
 
 Suppression: append ``// mstc-lint: allow(<rule>)`` to the offending line or
 place it alone on the line directly above. Suppressions are deliberate,
@@ -85,6 +93,12 @@ RULES = {
         "static_assert(fits_inline)) or take the callable as a template "
         "parameter"
     ),
+    "all-pairs-scan": (
+        "nested index loops over fleet positions/controllers: O(n^2) "
+        "scans belong behind graph::SpatialGrid candidate sets "
+        "(sim::Medium, core::for_each_snapshot_candidates); suppress "
+        "deliberate brute-force baselines with a justification"
+    ),
 }
 
 RAW_RANDOM_RE = re.compile(
@@ -117,6 +131,17 @@ WALL_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|"
     r"\bclock_gettime\s*\(|\bgettimeofday\s*\("
 )
+
+# Classic index-based for (two semicolons); range-fors have none and are
+# never all-pairs by themselves.
+INDEX_FOR_RE = re.compile(r"\bfor\s*\([^;]*;[^;]*;")
+# Subscript into a fleet-indexed array: positions[v], controllers[u],
+# scratch_positions_[v], ...
+FLEET_SUBSCRIPT_RE = re.compile(r"(?:positions|controllers)\w*\s*\[")
+# Lines the inner loop may trail the enclosing one by, and the statement
+# window scanned for a fleet subscript.
+ALL_PAIRS_LOOKBACK = 4
+ALL_PAIRS_LOOKAHEAD = 7
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -195,6 +220,12 @@ def is_obs_unit(path: Path) -> bool:
     return "obs" in path.parts
 
 
+def is_spatial_index_unit(path: Path) -> bool:
+    """The spatial grid is the sanctioned replacement for all-pairs scans;
+    its own cell-walk loops are exempt from the all-pairs rule."""
+    return path.name in ("spatial_grid.hpp", "spatial_grid.cpp")
+
+
 def is_hot_path(path: Path) -> bool:
     """Event-kernel and controller layers where per-event allocation from
     spilled std::function closures is banned."""
@@ -263,6 +294,22 @@ def lint_file(path: Path) -> list[Finding]:
                 base = re.split(r"[.\->(]", target)[0]
                 if base in unordered_names or target in unordered_names:
                     report(index, "unordered-iteration", f"over '{target}'")
+
+        # all-pairs-scan: an index for-loop nested directly inside another
+        # (the enclosing line must leave its block open, i.e. end with '{',
+        # so a completed one-line loop a few lines up does not count) whose
+        # body subscripts a fleet-indexed array.
+        if (is_library_code(path) and not is_spatial_index_unit(path)
+                and INDEX_FOR_RE.search(line)):
+            enclosing = any(
+                INDEX_FOR_RE.search(stripped_lines[k])
+                and stripped_lines[k].rstrip().endswith("{")
+                for k in range(max(0, index - ALL_PAIRS_LOOKBACK), index))
+            if enclosing:
+                window = "\n".join(
+                    stripped_lines[index:index + ALL_PAIRS_LOOKAHEAD])
+                if FLEET_SUBSCRIPT_RE.search(window):
+                    report(index, "all-pairs-scan")
 
     return findings
 

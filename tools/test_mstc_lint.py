@@ -23,6 +23,8 @@ EXPECTATIONS = {
     "src/bad_iostream.cpp": {"iostream-in-lib"},
     "src/bad_wall_clock.cpp": {"wall-clock"},
     "src/sim/bad_std_function.cpp": {"hot-path-std-function"},
+    "src/bad_all_pairs.cpp": {"all-pairs-scan"},
+    "src/good_all_pairs_suppressed.cpp": set(),
     "src/good_clean.cpp": set(),
     "src/good_suppressed.cpp": set(),
     "src/good_std_function_cold.cpp": set(),
@@ -72,7 +74,8 @@ def main() -> int:
     if result.returncode != 0:
         failures.append("--list-rules exited nonzero")
     for rule in ("raw-random", "unordered-iteration", "parallel-float-reduce",
-                 "iostream-in-lib", "wall-clock", "hot-path-std-function"):
+                 "iostream-in-lib", "wall-clock", "hot-path-std-function",
+                 "all-pairs-scan"):
         if rule not in result.stdout:
             failures.append(f"--list-rules missing '{rule}'")
 
