@@ -18,6 +18,7 @@ namespace {
 /// ids this makes the assembled view (and, by protocol purity, the
 /// selection) an exact function of (ids, position bits, normal_range,
 /// cost), which is what the controller's recompute cache fingerprints.
+// mstc:hot — runs once per selection refresh over ~density members
 void assemble(
     NodeId owner, std::span<const NodeId> ids,
     std::span<const std::span<const topology::VersionedPosition>> versions,
@@ -78,6 +79,7 @@ ConsistencyMode consistency_mode_from(std::string_view name) {
   throw std::invalid_argument("unknown consistency mode: " + std::string(name));
 }
 
+// mstc:hot — per-refresh builder; the caller owns scratch and out
 void build_latest_view(const LocalViewStore& store, double normal_range,
                        const topology::CostModel& cost, ViewScratch& scratch,
                        topology::ViewGraph& out) {
@@ -107,6 +109,7 @@ topology::ViewGraph build_latest_view(const LocalViewStore& store,
   return view;
 }
 
+// mstc:hot — per-refresh builder; the caller owns scratch and out
 bool build_versioned_view(const LocalViewStore& store, std::uint64_t version,
                           double normal_range, const topology::CostModel& cost,
                           ViewScratch& scratch, topology::ViewGraph& out) {
@@ -140,6 +143,7 @@ std::optional<topology::ViewGraph> build_versioned_view(
   return view;
 }
 
+// mstc:hot — per-refresh builder; the caller owns scratch and out
 void build_weak_view(const LocalViewStore& store, double normal_range,
                      const topology::CostModel& cost, ViewScratch& scratch,
                      topology::ViewGraph& out) {

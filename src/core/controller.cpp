@@ -59,6 +59,7 @@ HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
   return hello;
 }
 
+// mstc:hot — runs once per delivered Hello (fan-out x fleet size)
 void NodeController::on_hello_receive(const HelloRecord& hello, double now) {
   store_.record(hello);
   store_.expire(now);
@@ -68,6 +69,8 @@ void NodeController::on_hello_receive(const HelloRecord& hello, double now) {
   }
 }
 
+// mstc:hot — runs once per selection refresh; all view state lives in
+// member scratch (view_scratch_, cache_key_scratch_)
 void NodeController::refresh_selection(double now) {
   if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
@@ -95,6 +98,7 @@ void NodeController::refresh_selection(double now) {
   }
 }
 
+// mstc:hot — the proactive/reactive counterpart of refresh_selection
 void NodeController::refresh_selection_versioned(double now,
                                                  std::uint64_t version) {
   if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);

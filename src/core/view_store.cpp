@@ -13,6 +13,7 @@ LocalViewStore::LocalViewStore(NodeId owner, std::size_t history_limit,
   assert(expiry_ > 0.0);
 }
 
+// mstc:hot — runs once per Hello reception
 void LocalViewStore::record(const HelloRecord& hello) {
   auto& history = entries_[hello.sender];
   // Insert keeping newest-first order by version (receptions can reorder
@@ -34,6 +35,7 @@ void LocalViewStore::record(const HelloRecord& hello) {
   }
 }
 
+// mstc:hot — runs on every reception and every selection refresh
 void LocalViewStore::expire(double now) {
   const double cutoff = now - expiry_;
   // Fast path: every non-owner front is certainly newer than the cutoff,
@@ -105,11 +107,12 @@ std::vector<NodeId> LocalViewStore::neighbors() const {
   return ids;
 }
 
+// mstc:hot — runs once per selection refresh; fills the caller-owned buffer
 void LocalViewStore::neighbors(std::vector<NodeId>& out) const {
   out.clear();
   out.reserve(entries_.size());
   // Sorted below, so the hash map's implementation-defined order is safe.
-  // mstc-lint: allow(unordered-iteration)
+  // mstc-tidy: allow(unordered-iteration)
   for (const auto& [sender, history] : entries_) {
     if (sender != owner_ && !history.empty()) out.push_back(sender);
   }

@@ -9,7 +9,7 @@ std::shared_ptr<const TraceSet> TraceCache::get(
     bool* generated) {
   std::shared_ptr<Entry> entry;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
       it->second = std::make_shared<Entry>();
@@ -37,12 +37,12 @@ std::shared_ptr<const TraceSet> TraceCache::get(
 }
 
 std::size_t TraceCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void TraceCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   entries_.clear();
   insertion_order_.clear();
 }

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "mobility/trace.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace mstc::mobility {
 
@@ -66,6 +68,11 @@ struct TraceKey {
 /// finishes; different keys never contend beyond the map lookup. Bounded
 /// FIFO retention (oldest insertion evicted first); evicted sets stay
 /// alive for as long as any Scenario still holds the shared_ptr.
+/// Locking model (machine-checked on Clang — see docs/STATIC_ANALYSIS.md):
+/// mutex_ guards the key map and its FIFO companion only. Entry contents
+/// are deliberately outside the lock: the single-flight std::call_once on
+/// Entry::once is what synchronizes the one write of Entry::traces with
+/// every later read, so generation never blocks unrelated keys.
 class TraceCache {
  public:
   explicit TraceCache(std::size_t max_entries = 32)
@@ -75,12 +82,13 @@ class TraceCache {
   /// cached key (single-flight). `generated` (may be null) reports whether
   /// this call ran the generator — the hit/miss signal behind the
   /// trace_cache_hits / trace_cache_misses counters.
-  std::shared_ptr<const TraceSet> get(
-      const TraceKey& key, const std::function<TraceSet()>& generate,
-      bool* generated = nullptr);
+  std::shared_ptr<const TraceSet> get(const TraceKey& key,
+                                      const std::function<TraceSet()>& generate,
+                                      bool* generated = nullptr)
+      MSTC_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  void clear();
+  [[nodiscard]] std::size_t size() const MSTC_EXCLUDES(mutex_);
+  void clear() MSTC_EXCLUDES(mutex_);
 
   /// The process-wide instance every Scenario shares.
   static TraceCache& global();
@@ -88,13 +96,15 @@ class TraceCache {
  private:
   struct Entry {
     std::once_flag once;
-    std::shared_ptr<const TraceSet> traces;
+    std::shared_ptr<const TraceSet> traces MSTC_UNGUARDED(
+        "written exactly once inside std::call_once(once) and only read "
+        "afterwards; call_once provides the synchronization");
   };
 
-  mutable std::mutex mutex_;
-  std::size_t max_entries_;
-  std::map<TraceKey, std::shared_ptr<Entry>> entries_;
-  std::deque<TraceKey> insertion_order_;
+  mutable util::Mutex mutex_;
+  const std::size_t max_entries_;
+  std::map<TraceKey, std::shared_ptr<Entry>> entries_ MSTC_GUARDED_BY(mutex_);
+  std::deque<TraceKey> insertion_order_ MSTC_GUARDED_BY(mutex_);
 };
 
 }  // namespace mstc::mobility

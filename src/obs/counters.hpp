@@ -101,6 +101,14 @@ class Histogram {
 };
 
 /// Per-run registry of every counter (global + per-node) and histogram.
+///
+/// Thread model: deliberately lock-free because it is thread-confined, not
+/// shared — exactly one replication (one sweep task) owns a registry, and
+/// merge() runs after the pool has joined. It therefore owns no mutex and
+/// carries no MSTC_GUARDED_BY annotations (the capability-annotation layer
+/// in util/annotations.hpp applies to shared state only; see
+/// docs/STATIC_ANALYSIS.md). Sharing one registry across replications is a
+/// bug the TSan `concurrency` suite would surface as a data race.
 class CounterRegistry {
  public:
   CounterRegistry();

@@ -56,6 +56,11 @@ struct TraceEvent {
 
 /// Append-only in-memory sink; one per simulation run (no locking — runs
 /// never share a sink; sweeps merge sinks deterministically afterwards).
+///
+/// Thread model: thread-confined like obs::CounterRegistry — the owning
+/// replication is the only writer, and readers (exporters, sweep merges)
+/// run after the pool has joined, so the class owns no mutex and carries
+/// no capability annotations (see docs/STATIC_ANALYSIS.md).
 class MemoryTraceSink {
  public:
   void record(const TraceEvent& event) { events_.push_back(event); }

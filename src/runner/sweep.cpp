@@ -1,10 +1,10 @@
 #include "runner/sweep.hpp"
 
 #include <atomic>
-#include <mutex>
 
 #include "obs/profile.hpp"
 #include "runner/scenario.hpp"
+#include "util/mutex.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -27,9 +27,11 @@ std::vector<metrics::RunStats> run_batch_raw(
   }
 
   // Progress plumbing. The counter is the only cross-task shared state;
-  // the callback itself is serialized so user code needs no locking.
+  // the callback itself is serialized (progress_mutex) so user code needs
+  // no locking. Result and observation slots need neither: replication r
+  // writes slot r and nothing else, so tasks never share a slot.
   std::atomic<std::size_t> completed{0};
-  std::mutex progress_mutex;
+  util::Mutex progress_mutex;
   const bool report = static_cast<bool>(hooks.on_progress);
   const std::uint64_t wall_start = report ? obs::wall_now_ns() : 0;
 
@@ -50,7 +52,7 @@ std::vector<metrics::RunStats> run_batch_raw(
       progress.eta_seconds =
           progress.elapsed_seconds / static_cast<double>(done) *
           static_cast<double>(total - done);
-      const std::lock_guard<std::mutex> lock(progress_mutex);
+      const util::MutexLock lock(progress_mutex);
       hooks.on_progress(progress);
     }
   });

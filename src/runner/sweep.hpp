@@ -32,15 +32,17 @@ struct SweepProgress {
 /// complete no-ops: the sweep runs exactly the un-hooked code path.
 struct SweepHooks {
   /// Called after every completed replication. Invocations are serialized
-  /// (a mutex), but arrive from worker threads in completion order — do
-  /// not touch sweep results from inside. Wall-clock fields make this
-  /// callback's *timing* non-deterministic; the sweep results stay a pure
-  /// function of (configs, repeats).
+  /// (an annotated util::Mutex inside run_batch_raw — see
+  /// docs/STATIC_ANALYSIS.md), but arrive from worker threads in
+  /// completion order — do not touch sweep results from inside.
+  /// Wall-clock fields make this callback's *timing* non-deterministic;
+  /// the sweep results stay a pure function of (configs, repeats).
   std::function<void(const SweepProgress&)> on_progress;
   /// When non-null, resized to configs.size() x repeats; replication r of
   /// configs[i] records into slot i * repeats + r (same layout as
   /// run_batch_raw results). Slot-per-task writes keep the sweep
-  /// race-free and deterministic.
+  /// race-free and deterministic without any locking: a slot has exactly
+  /// one writer, and readers run after the pool joins.
   std::vector<obs::RunObservation>* observations = nullptr;
   bool trace = false;    ///< record per-event traces into the slots
   bool profile = false;  ///< record wall-clock profiling into the slots

@@ -42,6 +42,7 @@ void Medium::ensure_grid(double range, double t) const {
   if (probe_ != nullptr) probe_->count(obs::Counter::kMediumGridRebuilds);
 }
 
+// mstc:hot — runs once per Hello broadcast; fills the caller-owned out buffer
 void Medium::receivers(NodeId sender, double range, double t,
                        std::vector<NodeId>& out) const {
   assert_single_thread();
@@ -95,6 +96,7 @@ void Medium::positions(double t, std::vector<geom::Vec2>& out) const {
   }
 }
 
+// mstc:hot — runs once per measurement snapshot; fills the caller-owned buffer
 void Medium::links_within(double range, double t,
                           std::vector<std::pair<NodeId, NodeId>>& out) const {
   assert_single_thread();

@@ -12,6 +12,7 @@ void Simulator::reserve_events(std::size_t expected_events) {
   free_slots_.reserve(expected_events);
 }
 
+// mstc:hot — runs once per scheduled event; slot reuse keeps it allocation-free
 void Simulator::schedule_at(Time at, Handler handler) {
   assert(at >= now_ && "cannot schedule in the past");
   std::uint32_t slot;
@@ -28,6 +29,7 @@ void Simulator::schedule_at(Time at, Handler handler) {
   if (probe_ != nullptr) probe_->count(obs::Counter::kSimEventsScheduled);
 }
 
+// mstc:hot — runs once per dispatched event
 Simulator::Handler Simulator::take_next() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const HeapKey key = heap_.back();

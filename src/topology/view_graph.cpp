@@ -8,6 +8,7 @@ ViewGraph::ViewGraph(NodeId owner_id, std::size_t neighbor_count) {
   reset(owner_id, neighbor_count);
 }
 
+// mstc:hot — runs once per view assembly; resize/assign reuse member capacity
 void ViewGraph::reset(NodeId owner_id, std::size_t neighbor_count) {
   const std::size_t nodes = neighbor_count + 1;
   ids_.resize(nodes);
@@ -20,6 +21,7 @@ void ViewGraph::reset(NodeId owner_id, std::size_t neighbor_count) {
   ids_[0] = owner_id;
 }
 
+// mstc:hot — runs once per certified link per refresh
 void ViewGraph::set_link(std::size_t i, std::size_t j, double dist_min,
                          double dist_max, CostKey c_min, CostKey c_max) {
   assert(i != j);

@@ -1,0 +1,76 @@
+// Clang thread-safety capability annotations (no-ops elsewhere).
+//
+// The repo's locking discipline is machine-checked at compile time on Clang
+// builds: the `mstc_thread_safety` interface target turns on
+// `-Wthread-safety -Werror=thread-safety` so an unguarded access to a
+// `MSTC_GUARDED_BY` field, a missing `MSTC_REQUIRES` caller lock, or an
+// unbalanced `MSTC_ACQUIRE`/`MSTC_RELEASE` pair fails the build instead of
+// becoming a data race for TSan to find at runtime (see
+// docs/STATIC_ANALYSIS.md). GCC and MSVC compile the macros away, so
+// annotated headers stay portable.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through std::lock_guard / std::unique_lock. Lock through the
+// annotated wrappers in util/mutex.hpp (util::Mutex + util::MutexLock)
+// instead; they are the repo's only sanctioned mutex types.
+//
+// Macro catalogue (mirroring Clang's attribute names):
+//   MSTC_CAPABILITY(x)        class declares a capability named x ("mutex")
+//   MSTC_SCOPED_CAPABILITY    RAII class that acquires in its constructor
+//                             and releases in its destructor
+//   MSTC_GUARDED_BY(m)        field may only be touched while holding m
+//   MSTC_PT_GUARDED_BY(m)     pointee of the field is guarded by m
+//   MSTC_REQUIRES(m...)       function must be called with m held
+//   MSTC_ACQUIRE(m...)        function acquires m and holds it on return
+//   MSTC_RELEASE(m...)        function releases m
+//   MSTC_TRY_ACQUIRE(b, m...) function acquires m iff it returns b
+//   MSTC_EXCLUDES(m...)       function must NOT be called with m held
+//                             (documents public entry points of a class
+//                             with a private lock, and catches re-entrant
+//                             self-deadlock at compile time)
+//   MSTC_ASSERT_CAPABILITY(m) function asserts (runtime-checks) m is held
+//   MSTC_RETURN_CAPABILITY(m) function returns a reference to capability m
+//   MSTC_NO_THREAD_SAFETY_ANALYSIS
+//                             escape hatch: function body is not analyzed.
+//                             Requires a justification comment; the tidy
+//                             rule `missing-guarded-by` still applies to
+//                             the fields it touches.
+//
+// One macro is ours, not Clang's:
+//   MSTC_UNGUARDED(why)       documentation-only marker for a field of a
+//                             mutex-owning class that is deliberately NOT
+//                             lock-protected (immutable after construction,
+//                             synchronized by std::call_once, ...). Expands
+//                             to nothing on every compiler; its presence —
+//                             with the written reason — is what satisfies
+//                             tools/mstc_tidy.py's `missing-guarded-by`
+//                             rule, so unguarded fields are a reviewed
+//                             decision rather than an omission.
+#pragma once
+
+#if defined(__clang__) && !defined(MSTC_NO_THREAD_SAFETY_ATTRIBUTES)
+#define MSTC_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MSTC_TSA_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#define MSTC_CAPABILITY(x) MSTC_TSA_ATTRIBUTE(capability(x))
+#define MSTC_SCOPED_CAPABILITY MSTC_TSA_ATTRIBUTE(scoped_lockable)
+#define MSTC_GUARDED_BY(x) MSTC_TSA_ATTRIBUTE(guarded_by(x))
+#define MSTC_PT_GUARDED_BY(x) MSTC_TSA_ATTRIBUTE(pt_guarded_by(x))
+#define MSTC_REQUIRES(...) \
+  MSTC_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define MSTC_REQUIRES_SHARED(...) \
+  MSTC_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define MSTC_ACQUIRE(...) MSTC_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define MSTC_RELEASE(...) MSTC_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define MSTC_TRY_ACQUIRE(...) \
+  MSTC_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define MSTC_EXCLUDES(...) MSTC_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define MSTC_ASSERT_CAPABILITY(x) MSTC_TSA_ATTRIBUTE(assert_capability(x))
+#define MSTC_RETURN_CAPABILITY(x) MSTC_TSA_ATTRIBUTE(lock_returned(x))
+#define MSTC_NO_THREAD_SAFETY_ANALYSIS \
+  MSTC_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+// Documentation-only (see header comment). The reason string is required.
+#define MSTC_UNGUARDED(why)

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_available_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     // Submitting to a pool whose destructor has started would silently drop
     // the task once workers drain and exit — and then wedge wait_idle()
     // forever on the never-decremented in_flight_ count. Fail loudly instead.
@@ -43,24 +43,25 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit wait loop (not the predicate-lambda overload) so the guarded
+  // read of in_flight_ stays inside this analyzed function body.
+  while (in_flight_ != 0) all_done_.wait(lock.native());
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_available_.wait(lock.native());
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      const std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -9,19 +9,27 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
 namespace mstc::util {
 
+/// Locking model (machine-checked on Clang — see docs/STATIC_ANALYSIS.md):
+/// one mutex guards the queue and the shutdown/complete-count state; both
+/// condition variables are signalled only by threads that just held it.
+/// Public entry points take the lock themselves, so they carry
+/// MSTC_EXCLUDES(mutex_) — calling them from code that already holds the
+/// pool's lock would self-deadlock, and the analysis rejects it.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
   /// (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  ~ThreadPool() MSTC_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -34,23 +42,30 @@ class ThreadPool {
   /// terminate the program (simulation code reports errors via results).
   /// Calling submit() after the destructor has begun is a programming error:
   /// it asserts in debug builds and drops the task in release builds.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) MSTC_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished. Safe to call
   /// concurrently from several threads; tasks submitted concurrently with
   /// the call may or may not be waited for.
-  void wait_idle();
+  void wait_idle() MSTC_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() MSTC_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_ MSTC_UNGUARDED(
+      "filled in the constructor before any worker can observe the pool, "
+      "then immutable until the destructor joins; thread_count() reads it "
+      "lock-free on that basis");
+  std::queue<std::function<void()>> tasks_ MSTC_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  std::condition_variable task_available_ MSTC_UNGUARDED(
+      "std::condition_variable is internally synchronized; every notify "
+      "follows a critical section on mutex_");
+  std::condition_variable all_done_ MSTC_UNGUARDED(
+      "std::condition_variable is internally synchronized; every notify "
+      "follows a critical section on mutex_");
+  std::size_t in_flight_ MSTC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ MSTC_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [0, n) across the pool and waits for completion.

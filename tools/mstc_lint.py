@@ -10,11 +10,6 @@ those invariants (see docs/DEVELOPMENT.md):
                         std::mt19937 / time(nullptr)-style seeding anywhere
                         outside src/util/prng.* — all randomness must flow
                         through the seeded Xoshiro256 / derive_seed API.
-  unordered-iteration   range-for over a std::unordered_map/set declared in
-                        the same file. Hash-table iteration order is
-                        implementation-defined; when the loop's results feed
-                        metrics or event ordering, runs stop being
-                        reproducible across standard libraries.
   parallel-float-reduce std::reduce / std::transform_reduce with an
                         std::execution policy. Parallel reduction reorders
                         floating-point addition, so sums change bit patterns
@@ -27,11 +22,6 @@ those invariants (see docs/DEVELOPMENT.md):
                         src/obs/. Simulation state must depend on sim-time
                         only; wall time flows through obs::wall_now_ns() so
                         profiling stays an observability concern.
-  hot-path-std-function std::function in the event-kernel / controller hot
-                        path (src/sim/ and src/core/). Every std::function
-                        large enough to spill its closure heap-allocates on
-                        construction; the hot path must use sim::Handler
-                        (small-buffer optimized) or a template parameter.
   all-pairs-scan        nested index loops touching fleet positions /
                         controllers arrays in library code. O(n^2) scans
                         over the fleet belong behind graph::SpatialGrid
@@ -41,9 +31,17 @@ those invariants (see docs/DEVELOPMENT.md):
                         justification. The spatial-grid implementation
                         itself is exempt by path.
 
+Two former rules — `unordered-iteration` and `hot-path-std-function` —
+moved to tools/mstc_tidy.py, which matches them structurally (declared
+types across headers, hot-function reachability) instead of by regex, so a
+violation is reported by exactly one tool (see docs/STATIC_ANALYSIS.md).
+
 Suppression: append ``// mstc-lint: allow(<rule>)`` to the offending line or
 place it alone on the line directly above. Suppressions are deliberate,
 reviewable markers — use them only with a justification comment nearby.
+mstc_tidy.py shares the same syntax under the ``mstc-tidy:`` tag; either
+tag suppresses either tool (rule ids are disjoint, so a marker only ever
+names one tool's rule).
 
 Usage:
   mstc_lint.py <file-or-dir> [more paths...]
@@ -61,18 +59,16 @@ from pathlib import Path
 
 CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp"}
 
-ALLOW_RE = re.compile(r"//\s*mstc-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+# Shared suppression grammar: mstc_tidy.py imports this (and
+# allowed_rules) so both static-analysis tools honor one syntax.
+ALLOW_RE = re.compile(
+    r"//\s*mstc-(?:lint|tidy):\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
 
 RULES = {
     "raw-random": (
         "raw randomness outside src/util/prng.*: route all randomness "
         "through util::Xoshiro256 / derive_seed so runs stay a pure "
         "function of (config, seed)"
-    ),
-    "unordered-iteration": (
-        "iteration over an unordered container: hash-table order is "
-        "implementation-defined and breaks run-to-run reproducibility "
-        "when results feed metrics or event ordering"
     ),
     "parallel-float-reduce": (
         "parallel std::reduce/transform_reduce: reordered floating-point "
@@ -86,12 +82,6 @@ RULES = {
         "wall-clock read in library code outside src/obs/: simulation "
         "state must depend on sim-time only; use obs::wall_now_ns() / "
         "obs::ScopedTimer for profiling"
-    ),
-    "hot-path-std-function": (
-        "std::function in src/sim/ or src/core/: spilled closures "
-        "heap-allocate per event; use sim::Handler (SBO, "
-        "static_assert(fits_inline)) or take the callable as a template "
-        "parameter"
     ),
     "all-pairs-scan": (
         "nested index loops over fleet positions/controllers: O(n^2) "
@@ -110,22 +100,11 @@ RAW_RANDOM_RE = re.compile(
     r")"
 )
 
-UNORDERED_DECL_RE = re.compile(
-    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
-)
-# Variable / member name following a (possibly multi-line) unordered
-# declaration: `> name;`, `> name{...};`, `> name =`.
-UNORDERED_NAME_RE = re.compile(r">\s*(\w+)\s*(?:;|\{|=)")
-
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\*?(\w+(?:[.\->]\w+(?:\(\))?)*)\s*\)")
-
 PARALLEL_REDUCE_RE = re.compile(
     r"std\s*::\s*(?:transform_reduce|reduce)\s*\(\s*std\s*::\s*execution\s*::"
 )
 
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
-
-STD_FUNCTION_RE = re.compile(r"std\s*::\s*function\s*<")
 
 WALL_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|"
@@ -226,33 +205,6 @@ def is_spatial_index_unit(path: Path) -> bool:
     return path.name in ("spatial_grid.hpp", "spatial_grid.cpp")
 
 
-def is_hot_path(path: Path) -> bool:
-    """Event-kernel and controller layers where per-event allocation from
-    spilled std::function closures is banned."""
-    return "src" in path.parts and ("sim" in path.parts or "core" in path.parts)
-
-
-def unordered_container_names(stripped: str) -> set[str]:
-    """Names declared (anywhere in the file) with an unordered type."""
-    names: set[str] = set()
-    for match in UNORDERED_DECL_RE.finditer(stripped):
-        # Scan forward past balanced template brackets to the variable name.
-        i = match.end() - 1  # at '<'
-        depth = 0
-        while i < len(stripped):
-            if stripped[i] == "<":
-                depth += 1
-            elif stripped[i] == ">":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        name_match = UNORDERED_NAME_RE.match(stripped, i)
-        if name_match:
-            names.add(name_match.group(1))
-    return names
-
-
 def lint_file(path: Path) -> list[Finding]:
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
@@ -269,8 +221,6 @@ def lint_file(path: Path) -> list[Finding]:
         if rule not in allowed_rules(raw_lines, index):
             findings.append(Finding(path, index + 1, rule, detail))
 
-    unordered_names = unordered_container_names(stripped)
-
     for index, line in enumerate(stripped_lines):
         if not is_prng_unit(path) and RAW_RANDOM_RE.search(line):
             report(index, "raw-random")
@@ -284,16 +234,6 @@ def lint_file(path: Path) -> list[Finding]:
         if (is_library_code(path) and not is_obs_unit(path)
                 and WALL_CLOCK_RE.search(line)):
             report(index, "wall-clock")
-
-        if is_hot_path(path) and STD_FUNCTION_RE.search(line):
-            report(index, "hot-path-std-function")
-
-        if is_library_code(path) and unordered_names:
-            for loop in RANGE_FOR_RE.finditer(line):
-                target = loop.group(1)
-                base = re.split(r"[.\->(]", target)[0]
-                if base in unordered_names or target in unordered_names:
-                    report(index, "unordered-iteration", f"over '{target}'")
 
         # all-pairs-scan: an index for-loop nested directly inside another
         # (the enclosing line must leave its block open, i.e. end with '{',

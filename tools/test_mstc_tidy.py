@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Self-test for mstc_tidy.py: each known-bad fixture must be reported with
+the expected rule id, each known-good fixture must pass, and the shipped
+src/ tree must be clean. Fixtures are pinned against the bundled structural
+frontend (always available); when libclang is present the fixture suite and
+the src/ sweep run again under it, so both frontends are held to the same
+verdicts. Run directly or via ctest (mstc_tidy_selftest)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+TIDY = TOOLS_DIR / "mstc_tidy.py"
+FIXTURES = TOOLS_DIR / "tidy_fixtures"
+REPO_SRC = TOOLS_DIR.parent / "src"
+
+# fixture path (relative to tidy_fixtures/) -> set of rule ids that must all
+# appear in the output; empty set = fixture must come back clean.
+EXPECTATIONS = {
+    "src/bad_unordered_iter.cpp": {"unordered-iteration"},
+    "src/good_ordered_iter.cpp": set(),
+    "src/good_unordered_suppressed.cpp": set(),
+    "bad_parallel_float.cpp": {"parallel-float-accumulation"},
+    "good_parallel_slots.cpp": set(),
+    "good_parallel_suppressed.cpp": set(),
+    "src/bad_hot_alloc.cpp": {"hot-heap-allocation"},
+    "src/good_hot_outparam.cpp": set(),
+    "src/good_hot_suppressed.cpp": set(),
+    "src/bad_hot_std_function.cpp": {"hot-std-function"},
+    "src/sim/bad_std_function.cpp": {"hot-std-function"},
+    "src/good_std_function_cold.cpp": set(),
+    "src/core/good_std_function_waived.cpp": set(),
+    "src/bad_missing_guard.cpp": {"missing-guarded-by"},
+    "src/good_guarded.cpp": set(),
+    "src/good_guard_suppressed.cpp": set(),
+}
+
+ALL_RULES = (
+    "unordered-iteration",
+    "parallel-float-accumulation",
+    "hot-heap-allocation",
+    "hot-std-function",
+    "missing-guarded-by",
+)
+
+
+def run_tidy(*args: str) -> tuple[int, str]:
+    result = subprocess.run(
+        [sys.executable, str(TIDY), *args],
+        capture_output=True, text=True, check=False)
+    return result.returncode, result.stdout + result.stderr
+
+
+def libclang_usable() -> bool:
+    # Exit 0 with a skip banner means unavailable; findings (exit 1) or a
+    # silent pass mean the frontend actually ran.
+    code, output = run_tidy("--frontend", "libclang", str(FIXTURES))
+    return code != 0 or "SKIPPED" not in output
+
+
+def check_fixtures(frontend: str, failures: list[str]) -> None:
+    for relative, expected_rules in EXPECTATIONS.items():
+        fixture = FIXTURES / relative
+        if not fixture.is_file():
+            failures.append(f"missing fixture: {fixture}")
+            continue
+        code, output = run_tidy("--frontend", frontend, str(fixture))
+        tag = f"{relative} [{frontend}]"
+        if expected_rules:
+            if code == 0:
+                failures.append(f"{tag}: expected nonzero exit, got 0")
+            for rule in expected_rules:
+                if f"[{rule}]" not in output:
+                    failures.append(
+                        f"{tag}: rule '{rule}' not reported; output:\n"
+                        f"{output}")
+        else:
+            if code != 0:
+                failures.append(
+                    f"{tag}: expected clean (exit 0), got {code}; "
+                    f"output:\n{output}")
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    check_fixtures("builtin", failures)
+
+    # The tree as shipped must be clean — the lint gate in CI relies on it.
+    code, output = run_tidy("--frontend", "builtin", str(REPO_SRC))
+    if code != 0:
+        failures.append(
+            f"src/ tree not tidy-clean [builtin] (exit {code}):\n{output}")
+
+    # When libclang is actually usable here, hold it to the same verdicts.
+    if libclang_usable():
+        check_fixtures("libclang", failures)
+        code, output = run_tidy("--frontend", "libclang", str(REPO_SRC))
+        if code != 0:
+            failures.append(
+                f"src/ tree not tidy-clean [libclang] (exit {code}):\n"
+                f"{output}")
+    else:
+        # Must degrade loudly but successfully: a skip, never a failure.
+        code, output = run_tidy("--frontend", "libclang", str(REPO_SRC))
+        if code != 0:
+            failures.append(
+                f"--frontend=libclang without libclang must exit 0 "
+                f"(skip), got {code}:\n{output}")
+        elif "SKIPPED" not in output:
+            failures.append(
+                "--frontend=libclang without libclang must print a skip "
+                f"banner; output:\n{output}")
+
+    # --list-rules must succeed and mention every rule id.
+    result = subprocess.run(
+        [sys.executable, str(TIDY), "--list-rules"],
+        capture_output=True, text=True, check=False)
+    if result.returncode != 0:
+        failures.append("--list-rules exited nonzero")
+    for rule in ALL_RULES:
+        if rule not in result.stdout:
+            failures.append(f"--list-rules missing '{rule}'")
+
+    if failures:
+        print("mstc_tidy self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"mstc_tidy self-test: {len(EXPECTATIONS)} fixtures + src/ "
+          f"sweep OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

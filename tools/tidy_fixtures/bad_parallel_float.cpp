@@ -1,0 +1,24 @@
+// Fixture: compound floating-point accumulation inside a parallel_for body
+// must trip parallel-float-accumulation — cross-iteration accumulation under
+// dynamic scheduling reorders additions and is not bit-stable.
+#include <cstddef>
+#include <vector>
+
+namespace util {
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn);
+}  // namespace util
+
+namespace mstc::fixture {
+
+double unstable_sum(const std::vector<double>& values) {
+  double total = 0.0;
+  double shadow = 0.0;
+  util::parallel_for(values.size(), [&](std::size_t i) {
+    total += values[i];
+    shadow = shadow + values[i];
+  });
+  return total + shadow;
+}
+
+}  // namespace mstc::fixture

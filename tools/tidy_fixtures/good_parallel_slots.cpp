@@ -1,0 +1,25 @@
+// Fixture: the sanctioned parallel reduction — each iteration writes its own
+// pre-sized slot; the serial reduction afterwards is order-fixed. Clean.
+#include <cstddef>
+#include <vector>
+
+namespace util {
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn);
+}  // namespace util
+
+namespace mstc::fixture {
+
+double stable_sum(const std::vector<double>& values,
+                  std::vector<double>& slots) {
+  util::parallel_for(values.size(), [&](std::size_t i) {
+    slots[i] = values[i] * 0.5;
+  });
+  double total = 0.0;
+  for (double slot : slots) {
+    total += slot;
+  }
+  return total;
+}
+
+}  // namespace mstc::fixture

@@ -1,0 +1,24 @@
+// Fixture: an allow() marker with a justification silences
+// parallel-float-accumulation (e.g. a diagnostics-only estimate whose bit
+// pattern never feeds simulation state).
+#include <cstddef>
+#include <vector>
+
+namespace util {
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn);
+}  // namespace util
+
+namespace mstc::fixture {
+
+double diagnostic_estimate(const std::vector<double>& values) {
+  double total = 0.0;
+  util::parallel_for(values.size(), [&](std::size_t i) {
+    // Rough progress metric for logs only; never compared bit-for-bit.
+    // mstc-tidy: allow(parallel-float-accumulation)
+    total += values[i];
+  });
+  return total;
+}
+
+}  // namespace mstc::fixture

@@ -1,0 +1,25 @@
+// Fixture: heap allocation inside (or reachable from) a `// mstc:hot`
+// function must trip hot-heap-allocation — new expressions, make_unique /
+// make_shared, and local owning containers alike. helper_allocates() is not
+// marked hot itself; it is flagged because the hot kernel calls it.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mstc::fixture {
+
+int helper_allocates(std::size_t n) {
+  std::vector<int> scratch(n);
+  return static_cast<int>(scratch.size());
+}
+
+// mstc:hot
+int hot_kernel(std::size_t n) {
+  auto owned = std::make_unique<int>(static_cast<int>(n));
+  int* raw = new int[n];
+  delete[] raw;
+  (void)owned;
+  return helper_allocates(n);
+}
+
+}  // namespace mstc::fixture

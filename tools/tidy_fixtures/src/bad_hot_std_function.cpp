@@ -1,0 +1,14 @@
+// Fixture: std::function inside a `// mstc:hot` function is flagged even
+// outside the src/sim/ and src/core/ layers (hot-std-function; the local
+// also trips hot-heap-allocation — std::function owns its heap spill).
+#include <functional>
+
+namespace mstc::fixture {
+
+// mstc:hot
+int apply_hot(int x) {
+  std::function<int(int)> f = [](int v) { return v + 1; };
+  return f(x);
+}
+
+}  // namespace mstc::fixture

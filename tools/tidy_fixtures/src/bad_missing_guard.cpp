@@ -1,0 +1,18 @@
+// Fixture: a class that owns a mutex must annotate every data member with
+// MSTC_GUARDED_BY / MSTC_PT_GUARDED_BY or document the exception with
+// MSTC_UNGUARDED(reason). items_ carries neither -> missing-guarded-by.
+#include <mutex>
+#include <vector>
+
+namespace mstc::fixture {
+
+class Queue {
+ public:
+  void push(int value);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_;
+};
+
+}  // namespace mstc::fixture

@@ -1,18 +1,23 @@
 // Fixture: range-for over unordered containers must trip
-// unordered-iteration (the file sits under a src/ path on purpose).
+// unordered-iteration, including when the declared type hides behind a
+// `using` alias (the file sits under a src/ path on purpose).
 #include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+namespace mstc::fixture {
+
+using NameMap = std::unordered_map<int, std::string>;
+
 struct Registry {
-  std::unordered_map<int, std::string> names;
+  NameMap names;
   std::unordered_set<int> ids;
 
   std::size_t total() const {
     std::size_t sum = 0;
-    for (const auto& [id, name] : names) {
-      sum += name.size() + static_cast<std::size_t>(id);
+    for (const auto& entry : names) {
+      sum += entry.second.size();
     }
     for (int id : ids) {
       sum += static_cast<std::size_t>(id);
@@ -20,3 +25,5 @@ struct Registry {
     return sum;
   }
 };
+
+}  // namespace mstc::fixture

@@ -1,12 +1,12 @@
 // Fixture: a deliberate std::function inside a hot-path layer stays clean
-// when carrying an mstc-lint allow() marker (cold setup code, not per-event).
+// when carrying an mstc-tidy allow() marker (cold setup code, not per-event).
 #include <functional>
 
 namespace mstc::fixture {
 
 struct SetupOnly {
   // Invoked once at scenario construction, never inside the event loop.
-  std::function<void()> on_configured;  // mstc-lint: allow(hot-path-std-function)
+  std::function<void()> on_configured;  // mstc-tidy: allow(hot-std-function)
 };
 
 }  // namespace mstc::fixture

@@ -1,0 +1,29 @@
+// Fixture: a fully annotated mutex-owning class is clean. Exercises every
+// exemption: MSTC_GUARDED_BY, MSTC_UNGUARDED(reason), condition variables,
+// atomics, const and static constexpr members. The stub macro definitions
+// stand in for src/util/annotations.hpp (fixtures are never compiled).
+#define MSTC_GUARDED_BY(x)
+#define MSTC_UNGUARDED(why)
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace mstc::fixture {
+
+class Guarded {
+ public:
+  void push(int value);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_ MSTC_GUARDED_BY(mutex_);
+  std::vector<int> boot_config_ MSTC_UNGUARDED("written before any worker");
+  std::condition_variable ready_;
+  std::atomic<int> pending_{0};
+  const int capacity_ = 8;
+  static constexpr int kMaxBatch = 16;
+};
+
+}  // namespace mstc::fixture

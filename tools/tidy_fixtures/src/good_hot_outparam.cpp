@@ -1,0 +1,20 @@
+// Fixture: the sanctioned hot-path idiom — push_back into a caller-owned,
+// pre-reserved out-parameter — is deliberately NOT flagged by
+// hot-heap-allocation. Only locally *owned* containers and explicit heap
+// allocations count.
+#include <cstddef>
+#include <vector>
+
+namespace mstc::fixture {
+
+// mstc:hot
+void gather_positive(const std::vector<int>& values, std::vector<int>& out) {
+  out.clear();
+  for (int value : values) {
+    if (value > 0) {
+      out.push_back(value);
+    }
+  }
+}
+
+}  // namespace mstc::fixture

@@ -1,0 +1,22 @@
+// Fixture: owning an unordered container is fine — only *iterating* one is
+// flagged. Lookups by key and iteration over ordered companions stay clean.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace mstc::fixture {
+
+struct Histogram {
+  std::unordered_map<int, std::size_t> counts;
+  std::vector<int> keys;  // maintained sorted by the owner
+
+  std::size_t total() const {
+    std::size_t sum = 0;
+    for (int key : keys) {
+      sum += counts.count(key);
+    }
+    return sum;
+  }
+};
+
+}  // namespace mstc::fixture

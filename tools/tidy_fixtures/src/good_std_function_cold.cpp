@@ -1,6 +1,6 @@
 // Fixture: std::function outside the hot-path layers (src/ but neither
-// sim/ nor core/) is fine — `hot-path-std-function` only polices the
-// per-event layers, and an explicit allow() marker silences it even there.
+// sim/ nor core/) and outside any `// mstc:hot` function is fine —
+// `hot-std-function` only polices the per-event layers.
 #include <functional>
 
 namespace mstc::fixture {

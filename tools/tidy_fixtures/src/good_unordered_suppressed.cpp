@@ -1,0 +1,27 @@
+// Fixture: the sanctioned collect-then-sort idiom — iterate the hash map
+// once to gather, sort before anything order-sensitive consumes it — keeps
+// a justification comment plus an allow() marker (cf. core/view_store.cpp).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace mstc::fixture {
+
+struct Exporter {
+  std::unordered_map<int, int> cells;
+
+  std::vector<int> dump() const {
+    std::vector<int> out;
+    out.reserve(cells.size());
+    // Deterministic: visit order never escapes — the collected keys are
+    // sorted below before any consumer sees them.
+    // mstc-tidy: allow(unordered-iteration)
+    for (const auto& entry : cells) {
+      out.push_back(entry.first);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+}  // namespace mstc::fixture

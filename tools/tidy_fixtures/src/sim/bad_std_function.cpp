@@ -1,6 +1,6 @@
 // Fixture: std::function in src/sim/ (or src/core/) must be flagged by the
-// `hot-path-std-function` rule — spilled closures heap-allocate per event;
-// hot paths use sim::Handler (SBO) or a template parameter instead.
+// `hot-std-function` rule — spilled closures heap-allocate per event; hot
+// paths use sim::Handler (SBO) or a template parameter instead.
 #include <functional>
 #include <utility>
 
