@@ -72,6 +72,8 @@ bool write_manifest(const std::string& path, const Manifest& manifest) {
   std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", manifest.seed);
   std::fprintf(f, "  \"configurations\": %zu,\n", manifest.configurations);
   std::fprintf(f, "  \"repeats\": %zu,\n", manifest.repeats);
+  std::fprintf(f, "  \"peak_rss_bytes\": %" PRIu64 ",\n",
+               manifest.peak_rss_bytes);
 
   std::fprintf(f, "  \"config\": {");
   for (std::size_t i = 0; i < manifest.config.size(); ++i) {
@@ -105,6 +107,23 @@ bool write_manifest(const std::string& path, const Manifest& manifest) {
         std::fprintf(f, "%s%" PRIu64, b == 0 ? "" : ", ", hist.bucket(b));
       }
       std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "\n  ");
+  }
+  std::fprintf(f, "},\n");
+
+  std::fprintf(f, "  \"ledger\": {");
+  if (manifest.ledger != nullptr && !manifest.ledger->empty()) {
+    std::fprintf(f, "\n    \"replications\": %zu,",
+                 manifest.ledger->count());
+    for (std::size_t l = 0; l < kLedgerFieldCount; ++l) {
+      const auto field = static_cast<LedgerField>(l);
+      const LedgerStat stat = manifest.ledger->stat(field);
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"mean\": %.9g, \"p50\": %.9g, "
+                   "\"p95\": %.9g, \"max\": %.9g}",
+                   l == 0 ? "" : ",", ledger_field_name(field), stat.mean,
+                   stat.p50, stat.p95, stat.max);
     }
     std::fprintf(f, "\n  ");
   }

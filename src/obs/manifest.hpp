@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/ledger.hpp"
 #include "obs/profile.hpp"
 
 namespace mstc::obs {
@@ -37,6 +38,12 @@ struct Manifest {
   /// Sweep wall time and pool width, for utilization = busy / (wall * n).
   double sweep_wall_seconds = 0.0;
   std::size_t pool_threads = 0;
+  /// Process peak RSS at manifest time (util::peak_rss_bytes()); 0 when
+  /// the producer did not record it.
+  std::uint64_t peak_rss_bytes = 0;
+  /// Per-replication resource-ledger statistics across the sweep; optional
+  /// (emitted as an empty "ledger" object when null or empty).
+  const LedgerSummary* ledger = nullptr;
 };
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

@@ -17,20 +17,27 @@
 #include <cstdint>
 
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/ledger.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace mstc::obs {
 
 /// Everything one simulation run records. Counters are on whenever an
-/// observation is attached; tracing and profiling are opt-in because they
-/// cost memory / clock reads respectively.
+/// observation is attached; tracing, profiling and flight recording are
+/// opt-in because they cost memory / clock reads respectively. The ledger
+/// is filled in by the sweep runner after the run completes (see
+/// runner::SweepHooks::ledger), never during it.
 struct RunObservation {
   CounterRegistry counters;
   MemoryTraceSink trace;
   Profiler profiler;
+  FlightRecorder flight;
+  RunLedger ledger;
   bool trace_on = false;
   bool profile_on = false;
+  bool flight_on = false;
 };
 
 class Probe {
@@ -44,7 +51,8 @@ class Probe {
     return observation_ != nullptr;
   }
   [[nodiscard]] bool tracing() const noexcept {
-    return observation_ != nullptr && observation_->trace_on;
+    return observation_ != nullptr &&
+           (observation_->trace_on || observation_->flight_on);
   }
   /// Null when profiling is off — feed it straight to ScopedTimer.
   [[nodiscard]] Profiler* profiler() const noexcept {
@@ -70,13 +78,15 @@ class Probe {
 
   /// Records a trace event at sim-time `time` (every instrumentation point
   /// already has the simulation clock in hand, so no time source is
-  /// threaded through the probe).
+  /// threaded through the probe). The same record feeds the full trace
+  /// sink and/or the bounded flight-recorder ring, per the enable flags.
   void trace(EventKind kind, double time, std::size_t node,
              double value = 0.0, std::uint64_t aux = 0) const {
-    if (tracing()) {
-      observation_->trace.record(TraceEvent{
-          time, static_cast<std::uint32_t>(node), kind, value, aux});
-    }
+    if (!tracing()) return;
+    const TraceEvent event{time, static_cast<std::uint32_t>(node), kind,
+                           value, aux};
+    if (observation_->trace_on) observation_->trace.record(event);
+    if (observation_->flight_on) observation_->flight.record(event);
   }
 
  private:

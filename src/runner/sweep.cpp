@@ -1,14 +1,58 @@
 #include "runner/sweep.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <exception>
 
 #include "obs/profile.hpp"
 #include "runner/scenario.hpp"
 #include "util/mutex.hpp"
 #include "util/prng.hpp"
+#include "util/rusage.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mstc::runner {
+
+namespace {
+
+/// One-line config description for post-mortems (obs stays independent of
+/// ScenarioConfig, so the runner renders it).
+std::string config_summary(const ScenarioConfig& cfg) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "protocol=%s mode=%s nodes=%zu mobility=%s speed=%.3g "
+                "buffer=%.3g duration=%.3g",
+                cfg.protocol.c_str(),
+                std::string(core::to_string(cfg.mode)).c_str(), cfg.node_count,
+                cfg.mobility_model.c_str(), cfg.average_speed,
+                cfg.buffer_width, cfg.duration);
+  return buffer;
+}
+
+/// Assembles and writes one incident from whatever the slot holds.
+void dump_postmortem(obs::PostMortemWriter& writer, const SweepHooks& hooks,
+                     const ScenarioConfig& cfg, std::size_t config_index,
+                     std::size_t replication, const char* reason,
+                     std::string detail, double wall_seconds,
+                     const obs::RunObservation* slot) {
+  obs::PostMortem incident;
+  incident.config_index = config_index;
+  incident.replication = replication;
+  incident.seed = cfg.seed;
+  incident.reason = reason;
+  incident.detail = std::move(detail);
+  incident.wall_seconds = wall_seconds;
+  incident.soft_deadline_seconds = hooks.soft_deadline_seconds;
+  incident.config_summary = config_summary(cfg);
+  if (slot != nullptr) {
+    incident.counters = &slot->counters;
+    if (slot->ledger.captured) incident.ledger = &slot->ledger;
+    if (slot->flight_on) incident.flight = &slot->flight;
+  }
+  writer.write(incident);
+}
+
+}  // namespace
 
 std::vector<metrics::RunStats> run_batch_raw(
     const std::vector<ScenarioConfig>& configs, std::size_t repeats,
@@ -21,10 +65,23 @@ std::vector<metrics::RunStats> run_batch_raw(
     hooks.observations->assign(total, obs::RunObservation{});
     for (obs::RunObservation& slot : *hooks.observations) {
       slot.trace_on = hooks.trace;
-      slot.profile_on = hooks.profile;
+      // The ledger's phase split reads the profiler, so ledger implies
+      // profile.
+      slot.profile_on = hooks.profile || hooks.ledger;
+      slot.flight_on = hooks.flight;
+      if (hooks.flight) slot.flight.set_capacity(hooks.flight_capacity);
     }
     slots = hooks.observations->data();
   }
+
+  // Ledger capture, the straggler watchdog and the exporter all need the
+  // replication's wall time; everything else skips the clock reads.
+  const bool ledger_on = hooks.ledger && slots != nullptr;
+  const bool watchdog_on =
+      hooks.postmortem != nullptr && hooks.soft_deadline_seconds > 0.0;
+  const bool time_tasks = ledger_on || watchdog_on ||
+                          hooks.postmortem != nullptr ||
+                          (hooks.exporter != nullptr && slots != nullptr);
 
   // Progress plumbing. The counter is the only cross-task shared state;
   // the callback itself is serialized (progress_mutex) so user code needs
@@ -40,8 +97,50 @@ std::vector<metrics::RunStats> run_batch_raw(
     const std::size_t replication = task % repeats;
     ScenarioConfig cfg = configs[config_index];
     cfg.seed = util::derive_seed(cfg.seed, replication + 1);
-    results[task] =
-        run_scenario(cfg, slots != nullptr ? &slots[task] : nullptr);
+    obs::RunObservation* slot = slots != nullptr ? &slots[task] : nullptr;
+    const std::uint64_t task_start = time_tasks ? obs::wall_now_ns() : 0;
+    const std::uint64_t allocations_before =
+        ledger_on ? obs::allocation_count() : 0;
+    if (hooks.postmortem != nullptr) {
+      try {
+        results[task] = run_scenario(cfg, slot);
+      } catch (const std::exception& error) {
+        // Pool tasks must not throw (util::ThreadPool terminates on
+        // escape); dump the diagnosis to disk first, then let it escape —
+        // behavior is unchanged, but the crash is diagnosable.
+        const double wall_seconds =
+            static_cast<double>(obs::wall_now_ns() - task_start) * 1e-9;
+        dump_postmortem(*hooks.postmortem, hooks, cfg, config_index,
+                        replication, "exception", error.what(), wall_seconds,
+                        slot);
+        throw;
+      }
+    } else {
+      results[task] = run_scenario(cfg, slot);
+    }
+    const std::uint64_t task_wall_ns =
+        time_tasks ? obs::wall_now_ns() - task_start : 0;
+    if (ledger_on) {
+      slot->ledger.capture(*slot, task_wall_ns, util::peak_rss_bytes(),
+                           allocations_before);
+    }
+    if (watchdog_on) {
+      const double wall_seconds = static_cast<double>(task_wall_ns) * 1e-9;
+      if (wall_seconds > hooks.soft_deadline_seconds) {
+        char detail[96];
+        std::snprintf(detail, sizeof detail,
+                      "replication took %.3fs against a %.3fs soft deadline",
+                      wall_seconds, hooks.soft_deadline_seconds);
+        dump_postmortem(*hooks.postmortem, hooks, cfg, config_index,
+                        replication, "soft_deadline_exceeded", detail,
+                        wall_seconds, slot);
+      }
+    }
+    if (hooks.exporter != nullptr && slot != nullptr) {
+      // The slot belongs to a finished replication, so reading it here is
+      // race-free; the exporter serializes its own aggregates.
+      hooks.exporter->record(*slot);
+    }
     if (report) {
       const std::size_t done = completed.fetch_add(1) + 1;
       SweepProgress progress;
@@ -49,9 +148,12 @@ std::vector<metrics::RunStats> run_batch_raw(
       progress.total = total;
       progress.elapsed_seconds =
           static_cast<double>(obs::wall_now_ns() - wall_start) * 1e-9;
+      progress.eta_known = done > 0 && progress.elapsed_seconds > 0.0;
       progress.eta_seconds =
-          progress.elapsed_seconds / static_cast<double>(done) *
-          static_cast<double>(total - done);
+          progress.eta_known
+              ? progress.elapsed_seconds / static_cast<double>(done) *
+                    static_cast<double>(total - done)
+              : 0.0;
       const util::MutexLock lock(progress_mutex);
       hooks.on_progress(progress);
     }

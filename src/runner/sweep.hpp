@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "metrics/aggregate.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_export.hpp"
 #include "obs/probe.hpp"
 #include "runner/config.hpp"
 #include "util/thread_pool.hpp"
@@ -23,9 +25,13 @@ struct SweepProgress {
   std::size_t completed = 0;  ///< replications finished so far
   std::size_t total = 0;      ///< configs x repeats
   double elapsed_seconds = 0.0;
-  /// Naive remaining-time estimate (elapsed / completed * remaining);
-  /// 0 until the first replication finishes.
+  /// Naive remaining-time estimate (elapsed / completed * remaining).
+  /// Meaningless unless eta_known — consumers must print "unknown", not 0,
+  /// when it is false.
   double eta_seconds = 0.0;
+  /// False until at least one replication has finished AND measurable wall
+  /// time has elapsed; guards the division above.
+  bool eta_known = false;
 };
 
 /// Optional observability for a sweep. Default-constructed hooks are
@@ -46,6 +52,29 @@ struct SweepHooks {
   std::vector<obs::RunObservation>* observations = nullptr;
   bool trace = false;    ///< record per-event traces into the slots
   bool profile = false;  ///< record wall-clock profiling into the slots
+  /// Capture a per-replication resource ledger into each slot after its
+  /// run completes (implies profile: the ledger's phase split needs the
+  /// profiler). Requires `observations`.
+  bool ledger = false;
+  /// Keep a bounded ring of each replication's most recent trace events
+  /// (obs::FlightRecorder) for post-mortems. O(1) memory per slot,
+  /// independent of `trace`. Requires `observations`.
+  bool flight = false;
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Soft per-replication wall-clock deadline (seconds; 0 disables).
+  /// Checked when the replication finishes — it cannot interrupt a run,
+  /// only flag it — and exceeding it dumps a post-mortem. Requires
+  /// `postmortem`.
+  double soft_deadline_seconds = 0.0;
+  /// Post-mortem sink for stragglers and exceptions. When set, a
+  /// replication that throws dumps its identity, counters and flight ring
+  /// before the exception continues to the pool (which still terminates —
+  /// see util::ThreadPool — but the diagnosis survives on disk).
+  obs::PostMortemWriter* postmortem = nullptr;
+  /// Streaming metrics sink, fed each finished replication's slot in
+  /// completion order (the exporter locks internally). Requires
+  /// `observations`.
+  obs::MetricsExporter* exporter = nullptr;
 };
 
 /// Runs `repeats` replications of `base` (seeds derived from base.seed) in

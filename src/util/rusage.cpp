@@ -1,0 +1,28 @@
+#include "util/rusage.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mstc::util {
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  // The one sanctioned resource-usage read (see file comment in rusage.hpp).
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {  // mstc-lint: allow(wall-clock)
+    return 0;
+  }
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux (and the BSDs) report kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace mstc::util

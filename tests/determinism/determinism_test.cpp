@@ -152,6 +152,50 @@ TEST(Determinism, ObservationOnDoesNotChangeResults) {
   }
 }
 
+TEST(Determinism, LedgerAndExporterOnDoesNotChangeResults) {
+  // PR 7's telemetry layer rides the same contract: resource ledgers,
+  // flight recording, streaming metrics exposition and the straggler
+  // watchdog all read finished runs and write their own files — none of
+  // it may perturb simulation outputs.
+  const auto configs = representative_configs();
+  util::ThreadPool pool(3);
+  const auto plain = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+
+  obs::MetricsExporter exporter;
+  obs::MetricsExporter::Options options;
+  options.jsonl_path = testing::TempDir() + "det_metrics.jsonl";
+  options.prom_path = testing::TempDir() + "det_metrics.prom";
+  ASSERT_TRUE(exporter.open(options));
+  obs::PostMortemWriter postmortem;
+  ASSERT_TRUE(postmortem.open(testing::TempDir() + "det_postmortem.jsonl"));
+
+  std::vector<obs::RunObservation> observations;
+  SweepHooks hooks;
+  hooks.observations = &observations;
+  hooks.ledger = true;
+  hooks.flight = true;
+  hooks.flight_capacity = 64;
+  hooks.exporter = &exporter;
+  hooks.postmortem = &postmortem;
+  // Generous deadline: the watchdog must arm without ever firing here.
+  hooks.soft_deadline_seconds = 3600.0;
+  const auto observed =
+      bit_snapshot(run_batch_raw(configs, kRepeats, pool, hooks));
+  exporter.close();
+
+  ASSERT_EQ(observed, plain)
+      << "ledger/flight/exporter/watchdog changed simulation results";
+  ASSERT_EQ(observations.size(), configs.size() * kRepeats);
+  EXPECT_EQ(exporter.completed(), configs.size() * kRepeats);
+  EXPECT_EQ(postmortem.incidents(), 0u);
+  for (const auto& observation : observations) {
+    EXPECT_TRUE(observation.ledger.captured);
+    EXPECT_GT(observation.ledger.events, 0u);
+    EXPECT_GT(observation.ledger.total_wall_ns, 0u);
+    EXPECT_GT(observation.flight.total_recorded(), 0u);
+  }
+}
+
 TEST(Determinism, GridIndexedMediumMatchesBruteForceByteForByte) {
   // The medium's spatial index (PR 3) is an optimization with a
   // bit-identity contract: conservative-radius candidate filtering plus

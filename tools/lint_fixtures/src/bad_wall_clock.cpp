@@ -1,8 +1,10 @@
-// Fixture: wall-clock reads in library code outside src/obs/ must be
+// Fixture: wall-clock / resource-usage reads in library code outside the
+// sanctioned TUs (src/obs/profile.cpp, src/util/rusage.cpp) must be
 // flagged by the `wall-clock` rule — simulation state may depend on
 // sim-time only.
 #include <chrono>
 #include <ctime>
+#include <sys/resource.h>
 #include <sys/time.h>
 
 namespace mstc::fixture {
@@ -26,6 +28,12 @@ long bad_posix() {
   timeval tv{};
   gettimeofday(&tv, nullptr);
   return ts.tv_nsec + tv.tv_usec;
+}
+
+long bad_rusage() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
 }
 
 }  // namespace mstc::fixture

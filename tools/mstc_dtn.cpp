@@ -8,9 +8,12 @@
 #include <vector>
 
 #include "obs/manifest.hpp"
+#include "obs/metrics_export.hpp"
 #include "obs/probe.hpp"
 #include "routing/epidemic.hpp"
 #include "util/args.hpp"
+#include "util/options.hpp"
+#include "util/rusage.hpp"
 
 namespace {
 
@@ -31,6 +34,10 @@ observability (all off by default; see docs/OBSERVABILITY.md):
   --trace FILE        write a Chrome trace_event JSON (Perfetto)
   --trace-jsonl FILE  write the event trace as JSON Lines
   --metrics-out FILE  write a run manifest (config, counters, profile)
+  --metrics-stream FILE  write the run's counters + ledger as a JSON Lines
+                      metrics snapshot (env: MSTC_METRICS_STREAM)
+  --metrics-prom FILE Prometheus text-exposition snapshot
+                      (env: MSTC_METRICS_PROM)
 )";
 
 std::string format_double(double value) {
@@ -62,6 +69,10 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.get("trace", std::string());
   const std::string trace_jsonl_path = args.get("trace-jsonl", std::string());
   const std::string metrics_path = args.get("metrics-out", std::string());
+  const std::string stream_path = args.get(
+      "metrics-stream", util::env_or("MSTC_METRICS_STREAM", std::string()));
+  const std::string prom_path = args.get(
+      "metrics-prom", util::env_or("MSTC_METRICS_PROM", std::string()));
   for (const auto& name : args.unknown()) {
     std::fprintf(stderr, "error: unknown option --%s (try --help)\n",
                  name.c_str());
@@ -69,14 +80,23 @@ int main(int argc, char** argv) {
   }
 
   const bool want_trace = !trace_path.empty() || !trace_jsonl_path.empty();
-  const bool observing = want_trace || !metrics_path.empty();
+  const bool streaming = !stream_path.empty() || !prom_path.empty();
+  const bool observing = want_trace || !metrics_path.empty() || streaming;
 
   try {
     obs::RunObservation observation;
     observation.trace_on = want_trace;
-    observation.profile_on = !metrics_path.empty();
+    // The ledger's phase split (streamed + manifested) needs the profiler.
+    observation.profile_on = !metrics_path.empty() || streaming;
+    const std::uint64_t run_start = observing ? obs::wall_now_ns() : 0;
+    const std::uint64_t allocations_before =
+        observing ? obs::allocation_count() : 0;
     const auto result =
         routing::run_epidemic(cfg, observing ? &observation : nullptr);
+    if (observing) {
+      observation.ledger.capture(observation, obs::wall_now_ns() - run_start,
+                                 util::peak_rss_bytes(), allocations_before);
+    }
     std::printf(
         "substrate snapshot connectivity  %.3f (how partitioned the raw "
         "graph was)\n"
@@ -89,6 +109,20 @@ int main(int argc, char** argv) {
         result.mean_copies_per_message);
 
     if (observing) {
+      if (streaming) {
+        obs::MetricsExporter exporter;
+        obs::MetricsExporter::Options options;
+        options.jsonl_path = stream_path;
+        options.prom_path = prom_path;
+        options.job = "mstc_dtn";
+        if (!exporter.open(options)) {
+          std::fprintf(stderr, "error: cannot open metrics stream (%s)\n",
+                       (stream_path.empty() ? prom_path : stream_path).c_str());
+          return 1;
+        }
+        exporter.record(observation);
+        exporter.close();
+      }
       const std::vector<const obs::MemoryTraceSink*> sinks{
           &observation.trace};
       if (!trace_path.empty() &&
@@ -120,6 +154,10 @@ int main(int argc, char** argv) {
         };
         manifest.counters = &observation.counters;
         manifest.profiler = &observation.profiler;
+        manifest.peak_rss_bytes = util::peak_rss_bytes();
+        obs::LedgerSummary ledger_summary;
+        ledger_summary.add(observation.ledger);
+        manifest.ledger = &ledger_summary;
         if (!obs::write_manifest(metrics_path, manifest)) {
           std::fprintf(stderr, "error: cannot write %s\n",
                        metrics_path.c_str());

@@ -17,11 +17,16 @@ those invariants (see docs/DEVELOPMENT.md):
   iostream-in-lib       #include <iostream> in library code (src/). Library
                         code must not talk to std::cout/cerr; report through
                         return values and let tools/ front ends print.
-  wall-clock            direct wall-clock reads (std::chrono ...::now(),
-                        clock_gettime, gettimeofday) in library code outside
-                        src/obs/. Simulation state must depend on sim-time
-                        only; wall time flows through obs::wall_now_ns() so
-                        profiling stays an observability concern.
+  wall-clock            direct wall-clock / resource-usage reads
+                        (std::chrono ...::now(), clock_gettime,
+                        gettimeofday, getrusage) in library code outside
+                        the two sanctioned TUs: src/obs/profile.cpp (the
+                        repo's single clock read, obs::wall_now_ns()) and
+                        src/util/rusage.cpp (the single getrusage read,
+                        util::peak_rss_bytes()). Simulation state must
+                        depend on sim-time only; machine facts flow
+                        through those two functions so profiling and
+                        resource ledgers stay observability concerns.
   all-pairs-scan        nested index loops touching fleet positions /
                         controllers arrays in library code. O(n^2) scans
                         over the fleet belong behind graph::SpatialGrid
@@ -79,9 +84,10 @@ RULES = {
         "values; only tools/ front ends may print"
     ),
     "wall-clock": (
-        "wall-clock read in library code outside src/obs/: simulation "
-        "state must depend on sim-time only; use obs::wall_now_ns() / "
-        "obs::ScopedTimer for profiling"
+        "wall-clock / resource-usage read in library code outside "
+        "src/obs/profile.cpp and src/util/rusage.cpp: simulation state "
+        "must depend on sim-time only; use obs::wall_now_ns() / "
+        "obs::ScopedTimer for timing and util::peak_rss_bytes() for RSS"
     ),
     "all-pairs-scan": (
         "nested index loops over fleet positions/controllers: O(n^2) "
@@ -108,7 +114,7 @@ IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
 
 WALL_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|"
-    r"\bclock_gettime\s*\(|\bgettimeofday\s*\("
+    r"\bclock_gettime\s*\(|\bgettimeofday\s*\(|\bgetrusage\s*\("
 )
 
 # Classic index-based for (two semicolons); range-fors have none and are
@@ -194,9 +200,13 @@ def is_prng_unit(path: Path) -> bool:
     return path.name in ("prng.hpp", "prng.cpp") and "util" in path.parts
 
 
-def is_obs_unit(path: Path) -> bool:
-    """src/obs/ is the one library directory allowed to read wall clocks."""
-    return "obs" in path.parts
+def is_clock_unit(path: Path) -> bool:
+    """The two TUs allowed to read machine clocks/usage directly:
+    src/obs/profile.cpp (wall_now_ns) and src/util/rusage.cpp
+    (peak_rss_bytes). Everything else in src/ — including the rest of
+    src/obs/ — must go through those functions."""
+    return (path.name == "profile.cpp" and "obs" in path.parts) or (
+        path.name == "rusage.cpp" and "util" in path.parts)
 
 
 def is_spatial_index_unit(path: Path) -> bool:
@@ -231,7 +241,7 @@ def lint_file(path: Path) -> list[Finding]:
         if is_library_code(path) and IOSTREAM_RE.search(line):
             report(index, "iostream-in-lib")
 
-        if (is_library_code(path) and not is_obs_unit(path)
+        if (is_library_code(path) and not is_clock_unit(path)
                 and WALL_CLOCK_RE.search(line)):
             report(index, "wall-clock")
 

@@ -18,6 +18,8 @@
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
 #include "util/args.hpp"
+#include "util/options.hpp"
+#include "util/rusage.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -47,14 +49,30 @@ observability (all off by default; see docs/OBSERVABILITY.md):
                       chrome://tracing; pid = replication, tid = node)
   --trace-jsonl FILE  write the event trace as JSON Lines
   --metrics-out FILE  write a run manifest (config, seed, build version,
-                      counter totals, histograms, wall-clock profile)
+                      counter totals, histograms, ledger, wall profile)
+  --metrics-stream FILE  stream aggregated counters + ledger statistics as
+                      JSON Lines while the sweep runs
+                      (env: MSTC_METRICS_STREAM)
+  --metrics-prom FILE Prometheus text-exposition snapshot, rewritten as
+                      replications complete (env: MSTC_METRICS_PROM)
+  --flight N          keep a ring of each replication's last N trace
+                      events for post-mortems (0 = off)            [0]
+  --postmortem FILE   dump straggler / crash diagnoses (identity, ledger,
+                      counters, flight ring) to a JSONL file
+  --soft-deadline S   flag replications slower than S wall seconds into
+                      the post-mortem file (needs --postmortem)    [0]
   --progress          report sweep progress + ETA on stderr
 )";
 
 void print_progress(const mstc::runner::SweepProgress& progress) {
-  std::fprintf(stderr, "\r[%zu/%zu] %.1fs elapsed, eta %.1fs   ",
-               progress.completed, progress.total, progress.elapsed_seconds,
-               progress.eta_seconds);
+  if (progress.eta_known) {
+    std::fprintf(stderr, "\r[%zu/%zu] %.1fs elapsed, eta %.1fs   ",
+                 progress.completed, progress.total, progress.elapsed_seconds,
+                 progress.eta_seconds);
+  } else {
+    std::fprintf(stderr, "\r[%zu/%zu] %.1fs elapsed, eta unknown   ",
+                 progress.completed, progress.total, progress.elapsed_seconds);
+  }
   if (progress.completed == progress.total) std::fputc('\n', stderr);
   std::fflush(stderr);
 }
@@ -95,6 +113,14 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.get("trace", std::string());
   const std::string trace_jsonl_path = args.get("trace-jsonl", std::string());
   const std::string metrics_path = args.get("metrics-out", std::string());
+  const std::string stream_path = args.get(
+      "metrics-stream", util::env_or("MSTC_METRICS_STREAM", std::string()));
+  const std::string prom_path = args.get(
+      "metrics-prom", util::env_or("MSTC_METRICS_PROM", std::string()));
+  const auto flight_capacity =
+      static_cast<std::size_t>(args.get("flight", 0L));
+  const std::string postmortem_path = args.get("postmortem", std::string());
+  const double soft_deadline = args.get("soft-deadline", 0.0);
   const bool progress = args.get_flag("progress");
 
   std::string mode_name = args.get("mode", std::string("latest"));
@@ -120,18 +146,52 @@ int main(int argc, char** argv) {
       cfg.physical_neighbors ? "yes" : "no", cfg.node_count, cfg.duration,
       repeats);
 
+  if (soft_deadline > 0.0 && postmortem_path.empty()) {
+    std::fprintf(stderr, "error: --soft-deadline needs --postmortem FILE\n");
+    return 2;
+  }
+
   const bool want_trace = !trace_path.empty() || !trace_jsonl_path.empty();
-  const bool observing = want_trace || !metrics_path.empty() || progress;
+  const bool streaming = !stream_path.empty() || !prom_path.empty();
+  const bool observing = want_trace || !metrics_path.empty() || progress ||
+                         streaming || flight_capacity > 0 ||
+                         !postmortem_path.empty();
 
   try {
     util::ThreadPool& pool = util::global_pool();
     std::vector<obs::RunObservation> observations;
+    obs::MetricsExporter exporter;
+    obs::PostMortemWriter postmortem;
     runner::SweepHooks hooks;
     if (observing) {
       hooks.observations = &observations;
       hooks.trace = want_trace;
       hooks.profile = !metrics_path.empty();
+      hooks.ledger = !metrics_path.empty() || streaming;
+      hooks.flight = flight_capacity > 0;
+      hooks.flight_capacity = flight_capacity;
       if (progress) hooks.on_progress = print_progress;
+      if (streaming) {
+        obs::MetricsExporter::Options options;
+        options.jsonl_path = stream_path;
+        options.prom_path = prom_path;
+        options.job = "mstc_sim";
+        if (!exporter.open(options)) {
+          std::fprintf(stderr, "error: cannot open metrics stream (%s)\n",
+                       (stream_path.empty() ? prom_path : stream_path).c_str());
+          return 1;
+        }
+        hooks.exporter = &exporter;
+      }
+      if (!postmortem_path.empty()) {
+        if (!postmortem.open(postmortem_path)) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       postmortem_path.c_str());
+          return 1;
+        }
+        hooks.postmortem = &postmortem;
+        hooks.soft_deadline_seconds = soft_deadline;
+      }
     }
 
     const std::uint64_t sweep_start = obs::wall_now_ns();
@@ -154,13 +214,16 @@ int main(int argc, char** argv) {
         agg.logical_degree().mean(), agg.physical_degree().mean());
 
     if (observing) {
+      exporter.close();  // final snapshot with every replication folded in
       obs::CounterRegistry counters;
       obs::Profiler profiler;
+      obs::LedgerSummary ledger_summary;
       std::vector<const obs::MemoryTraceSink*> sinks;
       sinks.reserve(observations.size());
       for (const obs::RunObservation& observation : observations) {
         counters.merge(observation.counters);
         profiler.merge(observation.profiler);
+        ledger_summary.add(observation.ledger);
         sinks.push_back(&observation.trace);
       }
       if (!trace_path.empty() &&
@@ -199,6 +262,8 @@ int main(int argc, char** argv) {
         manifest.profiler = &profiler;
         manifest.sweep_wall_seconds = sweep_wall_seconds;
         manifest.pool_threads = pool.thread_count();
+        manifest.peak_rss_bytes = util::peak_rss_bytes();
+        manifest.ledger = &ledger_summary;
         if (!obs::write_manifest(metrics_path, manifest)) {
           std::fprintf(stderr, "error: cannot write %s\n",
                        metrics_path.c_str());
