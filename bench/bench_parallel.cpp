@@ -1,0 +1,291 @@
+// Sharded-kernel benchmark: serial vs intra-replication parallel DES.
+//
+// Each row runs one replication of the full scenario pipeline twice —
+// once on the serial event kernel (shards = 1) and once on the spatially
+// sharded kernel — at fixed density across n, and asserts the two arms'
+// RunStats are byte-identical (the sharded kernel's core contract; the
+// determinism suite pins the same property). Reported per arm:
+//
+//   events_per_s   simulator events per wall second (obs::Profiler's
+//                  event-loop measurement, setup excluded)
+//   wall_s         event-loop wall seconds
+//
+// and per row the sharded/serial speedup plus the sharded arm's barrier
+// count and cross-shard share. The speedup column is only meaningful on
+// a multi-core runner: `cores` (std::thread::hardware_concurrency) and
+// `threads` (the pool actually used) are recorded so tools/bench_check.py
+// can gate the ratio on machines that can express parallelism and gate
+// bit-identity everywhere. Writes BENCH_parallel.json:
+//
+//   ./build/bench/bench_parallel                # full sweep -> BENCH_parallel.json
+//   ./build/bench/bench_parallel --out <path>   # alternate output path
+//   ./build/bench/bench_parallel --smoke        # CI guard: tiny n, asserts
+//                                               #   byte-identity + engaged
+//                                               #   barriers; no JSON
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
+#include "runner/config.hpp"
+#include "runner/scenario.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using mstc::metrics::RunStats;
+using mstc::runner::ScenarioConfig;
+
+constexpr double kRange = 250.0;        // the paper's normal range (m)
+constexpr double kDensitySide = 900.0;  // 100 nodes per kDensitySide^2
+constexpr double kDensityNodes = 100.0;
+constexpr double kDuration = 4.0;  // simulated seconds per arm
+constexpr double kWarmup = 1.0;
+constexpr std::uint64_t kSeed = 20040815;
+// Requested strip count; effective_shards clamps it to the fleet's
+// grid-cell columns, so small fleets get fewer.
+constexpr std::size_t kShardsRequested = 16;
+
+struct RowSpec {
+  const char* label;
+  std::size_t nodes;
+};
+
+constexpr RowSpec kRows[] = {
+    {"n2500_waypoint", 2500},
+    {"n10000_waypoint", 10000},
+    {"n50000_waypoint", 50000},
+    {"n100000_waypoint", 100000},
+};
+
+constexpr RowSpec kSmokeRows[] = {
+    {"smoke_n192_waypoint", 192},
+    {"smoke_n384_waypoint", 384},
+};
+
+ScenarioConfig make_config(const RowSpec& row, std::uint64_t seed_stream) {
+  ScenarioConfig cfg;
+  cfg.node_count = row.nodes;
+  // Fixed density: area grows with n so the neighborhood stays the
+  // paper's (~24 neighbors), same convention as bench_scale/bench_kernel.
+  const double side = kDensitySide *
+                      std::sqrt(static_cast<double>(row.nodes) / kDensityNodes);
+  cfg.area = {side, side};
+  cfg.normal_range = kRange;
+  cfg.mobility_model = "waypoint";
+  cfg.protocol = "RNG";
+  cfg.mode = mstc::core::ConsistencyMode::kViewSync;
+  cfg.hello_interval = 1.0;
+  cfg.duration = kDuration;
+  cfg.warmup = kWarmup;
+  // Floods and snapshots are unkeyed (full-barrier) events; keep them
+  // rare so the measurement reflects the shardable beacon steady state.
+  cfg.flood_rate = 0.5;
+  cfg.snapshot_rate = 0.25;
+  cfg.flood_settle = 0.5;
+  cfg.seed = mstc::util::derive_seed(kSeed, seed_stream);
+  return cfg;
+}
+
+std::vector<std::uint64_t> bit_snapshot(const RunStats& stats) {
+  return {std::bit_cast<std::uint64_t>(stats.delivery_ratio),
+          std::bit_cast<std::uint64_t>(stats.strict_connectivity),
+          std::bit_cast<std::uint64_t>(stats.mean_range),
+          std::bit_cast<std::uint64_t>(stats.mean_logical_degree),
+          std::bit_cast<std::uint64_t>(stats.mean_physical_degree),
+          std::bit_cast<std::uint64_t>(stats.control_tx_rate),
+          std::bit_cast<std::uint64_t>(stats.mac_collision_fraction)};
+}
+
+struct ArmResult {
+  double events_per_s = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t kernel_barriers = 0;
+  double cross_shard_share = 0.0;
+  std::vector<std::uint64_t> bits;
+};
+
+ArmResult run_arm(ScenarioConfig cfg, std::size_t shards) {
+  cfg.shards = shards;
+  mstc::obs::RunObservation observation;
+  observation.profile_on = true;
+  const RunStats stats = mstc::runner::run_scenario(cfg, &observation);
+  ArmResult arm;
+  arm.events = observation.profiler.events();
+  arm.wall_s =
+      static_cast<double>(observation.profiler.run_wall_ns()) * 1e-9;
+  arm.events_per_s =
+      arm.wall_s > 0.0 ? static_cast<double>(arm.events) / arm.wall_s : 0.0;
+  arm.kernel_barriers =
+      observation.counters.total(mstc::obs::Counter::kKernelBarriers);
+  const std::uint64_t deliveries =
+      observation.counters.total(mstc::obs::Counter::kMediumDeliveries);
+  const std::uint64_t cross = observation.counters.total(
+      mstc::obs::Counter::kKernelCrossShardEvents);
+  arm.cross_shard_share =
+      deliveries > 0 ? static_cast<double>(cross) /
+                           static_cast<double>(deliveries)
+                     : 0.0;
+  arm.bits = bit_snapshot(stats);
+  return arm;
+}
+
+struct RowResult {
+  RowSpec spec;
+  ArmResult serial;
+  ArmResult sharded;
+  double speedup = 0.0;
+  bool results_identical = false;
+};
+
+RowResult run_row(const RowSpec& row, std::uint64_t seed_stream) {
+  RowResult result;
+  result.spec = row;
+  result.serial = run_arm(make_config(row, seed_stream), 1);
+  result.sharded =
+      run_arm(make_config(row, seed_stream), kShardsRequested);
+  result.speedup = result.serial.wall_s > 0.0
+                       ? result.serial.wall_s / result.sharded.wall_s
+                       : 0.0;
+  // Byte-identity is on RunStats. Raw event counts legitimately differ:
+  // the sharded arm schedules one extra node-local event per Hello (the
+  // deferred post-send refresh), so both counts are reported instead.
+  result.results_identical = result.serial.bits == result.sharded.bits;
+  return result;
+}
+
+void print_row(const RowResult& r) {
+  std::printf(
+      "%-22s serial %11.0f ev/s  sharded %11.0f ev/s  %.2fx  "
+      "(%" PRIu64 " barriers, cross %4.1f%%)  %s\n",
+      r.spec.label, r.serial.events_per_s, r.sharded.events_per_s, r.speedup,
+      r.sharded.kernel_barriers, r.sharded.cross_shard_share * 100.0,
+      r.results_identical ? "identical" : "DIVERGED");
+}
+
+void append_arm_json(std::string& json, const char* name,
+                     const ArmResult& arm) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"events_per_s\": %.1f, \"wall_s\": %.6f, "
+                "\"events\": %" PRIu64 ", \"kernel_barriers\": %" PRIu64
+                ", \"cross_shard_share\": %.4f}",
+                name, arm.events_per_s, arm.wall_s, arm.events,
+                arm.kernel_barriers, arm.cross_shard_share);
+  json += buffer;
+}
+
+bool write_json(const std::string& path, const std::vector<RowResult>& rows,
+                std::size_t threads) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"bench_parallel\",\n";
+  json += "  \"version\": \"" +
+          mstc::obs::json_escape(mstc::obs::build_version()) + "\",\n";
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "  \"config\": {\"range_m\": %.1f, \"density\": \"%.0f nodes per "
+      "%.0fx%.0f m^2\", \"protocol\": \"RNG\", \"mode\": \"ViewSync\", "
+      "\"duration_s\": %.1f, \"warmup_s\": %.1f, \"flood_rate\": 0.5, "
+      "\"snapshot_rate\": 0.25, \"shards_requested\": %zu, \"cores\": %u, "
+      "\"threads\": %zu, \"seed\": %" PRIu64 "},\n",
+      kRange, kDensityNodes, kDensitySide, kDensitySide, kDuration, kWarmup,
+      kShardsRequested, std::thread::hardware_concurrency(), threads, kSeed);
+  json += buffer;
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& r = rows[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"label\": \"%s\", \"nodes\": %zu,\n", r.spec.label,
+                  r.spec.nodes);
+    json += buffer;
+    append_arm_json(json, "serial", r.serial);
+    json += ",\n";
+    append_arm_json(json, "sharded", r.sharded);
+    json += ",\n";
+    std::snprintf(buffer, sizeof(buffer),
+                  "      \"speedup\": %.2f, \"results_identical\": %s}",
+                  r.speedup, r.results_identical ? "true" : "false");
+    json += buffer;
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) return false;
+  file << json;
+  return static_cast<bool>(file);
+}
+
+int run_smoke() {
+  std::printf("bench_parallel --smoke: sharded-kernel guard at tiny n\n");
+  int failures = 0;
+  std::uint64_t stream = 1;
+  for (const RowSpec& spec : kSmokeRows) {
+    const RowResult r = run_row(spec, stream++);
+    print_row(r);
+    if (!r.results_identical) {
+      std::fprintf(stderr,
+                   "FAIL %s: sharded kernel diverged from serial\n",
+                   spec.label);
+      ++failures;
+    }
+    // Zero barriers means the run silently fell back to the serial
+    // kernel — the guard would then compare serial against serial.
+    if (r.sharded.kernel_barriers == 0) {
+      std::fprintf(stderr, "FAIL %s: sharded kernel never engaged\n",
+                   spec.label);
+      ++failures;
+    }
+  }
+  std::printf(failures == 0 ? "smoke OK\n" : "smoke FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_parallel.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel [--smoke] [--out <path>]\n");
+      return 2;
+    }
+  }
+  if (smoke) return run_smoke();
+
+  const std::size_t threads = mstc::util::global_pool().thread_count();
+  std::printf("=== sharded kernel: serial vs parallel replication ===\n");
+  std::printf(
+      "RNG + ViewSync, fixed density, %.0f s per arm, %zu-thread pool "
+      "(%u cores)\n\n",
+      kDuration, threads, std::thread::hardware_concurrency());
+  std::vector<RowResult> rows;
+  std::uint64_t stream = 1;
+  for (const RowSpec& spec : kRows) {
+    rows.push_back(run_row(spec, stream++));
+    print_row(rows.back());
+  }
+  if (!write_json(out_path, rows, threads)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -26,13 +26,27 @@ NodeController::NodeController(NodeId id, const topology::Protocol& protocol,
                                const topology::CostModel& cost,
                                ControllerConfig config)
     : id_(id),
-      protocol_(protocol),
-      cost_(cost),
+      protocol_(&protocol),
+      cost_(&cost),
       config_(config),
       store_(id, config.history_limit, config.view_expiry) {}
 
+void NodeController::rebind(const topology::Protocol& protocol,
+                            const topology::CostModel& cost) noexcept {
+  protocol_ = &protocol;
+  cost_ = &cost;
+}
+
 HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
                                           std::uint64_t version) {
+  HelloRecord hello = on_hello_send_record(now, true_position, version);
+  post_send_refresh(now, version);
+  return hello;
+}
+
+HelloRecord NodeController::on_hello_send_record(double now,
+                                                 geom::Vec2 true_position,
+                                                 std::uint64_t version) {
   const HelloRecord hello{id_, {true_position, version, now}};
   store_.record(hello);
   ++hellos_sent_;
@@ -40,6 +54,10 @@ HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
     probe_->count_node(obs::Counter::kHelloTx, id_);
     probe_->trace(obs::EventKind::kHelloTx, now, id_, 0.0, version);
   }
+  return hello;
+}
+
+void NodeController::post_send_refresh(double now, std::uint64_t version) {
   switch (config_.mode) {
     case ConsistencyMode::kLatest:
     case ConsistencyMode::kViewSync:
@@ -56,7 +74,6 @@ HelloRecord NodeController::on_hello_send(double now, geom::Vec2 true_position,
       // that follows the synchronization flood.
       break;
   }
-  return hello;
 }
 
 // mstc:hot — runs once per delivered Hello (fan-out x fleet size)
@@ -76,23 +93,26 @@ void NodeController::refresh_selection(double now) {
   store_.expire(now);
   if (!store_.latest(id_)) return;  // nothing advertised yet
   const bool weak = config_.mode == ConsistencyMode::kWeak;
-  if (config_.recompute_cache) {
+  const bool cached = cache_enabled();
+  if (cached) {
     build_cache_key(weak ? kKeyWeak : kKeyLatest, 0, cache_key_scratch_);
     if (cache_valid_ && cache_key_scratch_ == cache_key_) {
       if (probe_ != nullptr) {
         probe_->count_node(obs::Counter::kTopologyRecomputeSkips, id_);
       }
+      note_cache_probe(true);
       return;  // same inputs => same selection; keep it as-is
     }
+    note_cache_probe(false);
   }
   if (weak) {
-    build_weak_view(store_, config_.normal_range, cost_, view_scratch_, view_);
+    build_weak_view(store_, config_.normal_range, *cost_, view_scratch_, view_);
   } else {
-    build_latest_view(store_, config_.normal_range, cost_, view_scratch_,
+    build_latest_view(store_, config_.normal_range, *cost_, view_scratch_,
                       view_);
   }
   apply_selection(view_, now);
-  if (config_.recompute_cache) {
+  if (cached) {
     cache_key_.swap(cache_key_scratch_);
     cache_valid_ = true;
   }
@@ -107,24 +127,39 @@ void NodeController::refresh_selection_versioned(double now,
   // paper's "wait before migrating to the next local view") and must
   // leave the cache untouched: nothing was recomputed.
   if (store_.record_at(id_, version).empty()) return;
-  if (config_.recompute_cache) {
+  const bool cached = cache_enabled();
+  if (cached) {
     build_cache_key(kKeyVersioned, version, cache_key_scratch_);
     if (cache_valid_ && cache_key_scratch_ == cache_key_) {
       if (probe_ != nullptr) {
         probe_->count_node(obs::Counter::kTopologyRecomputeSkips, id_);
       }
+      note_cache_probe(true);
       return;
     }
+    note_cache_probe(false);
   }
-  if (!build_versioned_view(store_, version, config_.normal_range, cost_,
+  if (!build_versioned_view(store_, version, config_.normal_range, *cost_,
                             view_scratch_, view_)) {
     return;  // unreachable: the owner check above already passed
   }
   apply_selection(view_, now);
-  if (config_.recompute_cache) {
+  if (cached) {
     cache_key_.swap(cache_key_scratch_);
     cache_valid_ = true;
   }
+}
+
+void NodeController::note_cache_probe(bool hit) noexcept {
+  if (hit) ++cache_skips_;
+  if (++cache_probes_ != kRecomputeCacheWarmup) return;
+  // One-shot decision at the end of the warmup window: a skip rate below
+  // the configured floor means fingerprints almost never match (mobile
+  // positions fold into the key), so probing is pure overhead.
+  const double skip_rate = static_cast<double>(cache_skips_) /
+                           static_cast<double>(kRecomputeCacheWarmup);
+  cache_bypassed_ = config_.recompute_cache_min_skip_rate > 0.0 &&
+                    skip_rate < config_.recompute_cache_min_skip_rate;
 }
 
 void NodeController::build_cache_key(std::uint64_t tag, std::uint64_t version,
@@ -176,7 +211,7 @@ void NodeController::apply_selection(const topology::ViewGraph& view,
     previous_extended = extended_range();
   }
 
-  protocol_.select(view, chosen_);
+  protocol_->select(view, chosen_);
   logical_.clear();
   logical_.reserve(chosen_.size());
   actual_range_ = 0.0;

@@ -37,7 +37,18 @@ struct ControllerConfig {
   /// skips are counted as topology_recompute_skips. Disable to measure the
   /// uncached path (MSTC_NO_RECOMPUTE_CACHE=1 at the scenario level).
   bool recompute_cache = true;
+  /// Cache self-bypass for workloads fingerprinting cannot help (mobile
+  /// fleets change some position bits on almost every refresh): after
+  /// kRecomputeCacheWarmup cache probes, if the observed skip rate is
+  /// below this threshold the controller stops building and comparing
+  /// fingerprints for the rest of the run, saving the key-build cost on
+  /// guaranteed misses. 0 disables the bypass (the cache always probes).
+  /// Never changes selections — only whether the shortcut is attempted.
+  double recompute_cache_min_skip_rate = 0.0;
 };
+
+/// Cache probes observed before the recompute-cache bypass decision.
+inline constexpr std::uint32_t kRecomputeCacheWarmup = 64;
 
 class NodeController {
  public:
@@ -58,12 +69,35 @@ class NodeController {
   /// Records the position this node is about to advertise and returns the
   /// Hello to broadcast. Also refreshes the logical selection (the paper:
   /// "each node updates its logical neighbor set whenever it sends a
-  /// 'Hello' message").
+  /// 'Hello' message"). Equivalent to on_hello_send_record followed by
+  /// post_send_refresh.
   HelloRecord on_hello_send(double now, geom::Vec2 true_position,
                             std::uint64_t version);
 
+  /// The record-only half of on_hello_send: stores the advertised
+  /// position and returns the Hello, without refreshing the selection.
+  /// The returned Hello never depends on the refresh, so the sharded
+  /// runner sends with this and defers post_send_refresh to a node-local
+  /// event at the same instant — byte-identical outcome, off the serial
+  /// path.
+  HelloRecord on_hello_send_record(double now, geom::Vec2 true_position,
+                                   std::uint64_t version);
+
+  /// The refresh half of on_hello_send (mode-dependent; a no-op for
+  /// reactive consistency). Touches only this node's state.
+  void post_send_refresh(double now, std::uint64_t version);
+
   /// Records a received neighbor Hello.
   void on_hello_receive(const HelloRecord& hello, double now);
+
+  /// Swaps in an equivalent protocol/cost pair (same algorithm and
+  /// parameters). Sharded runs give each shard its own instances because
+  /// Protocol::select uses per-instance mutable scratch; rebinding at
+  /// ownership remaps keeps every controller on its shard's instances.
+  /// Purely an aliasing change: selections are identical under any
+  /// equivalent binding.
+  void rebind(const topology::Protocol& protocol,
+              const topology::CostModel& cost) noexcept;
 
   /// Recomputes the logical selection from the current store per the
   /// configured mode (ViewSync calls this on every packet transmission).
@@ -111,8 +145,10 @@ class NodeController {
                        std::vector<std::uint64_t>& key);
 
   NodeId id_;
-  const topology::Protocol& protocol_;
-  const topology::CostModel& cost_;
+  // Pointers (never null) rather than references so rebind() can retarget
+  // them at shard-ownership remaps.
+  const topology::Protocol* protocol_;
+  const topology::CostModel* cost_;
   ControllerConfig config_;
   LocalViewStore store_;
   std::vector<NodeId> logical_;
@@ -132,6 +168,16 @@ class NodeController {
   std::vector<std::uint64_t> cache_key_;
   std::vector<std::uint64_t> cache_key_scratch_;
   bool cache_valid_ = false;
+  // Bypass bookkeeping (see ControllerConfig::recompute_cache_min_skip_rate):
+  // probes/skips observed during warmup, and the one-shot decision.
+  std::uint32_t cache_probes_ = 0;
+  std::uint32_t cache_skips_ = 0;
+  bool cache_bypassed_ = false;
+
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return config_.recompute_cache && !cache_bypassed_;
+  }
+  void note_cache_probe(bool hit) noexcept;
 };
 
 }  // namespace mstc::core

@@ -54,6 +54,10 @@ const char* counter_name(Counter counter) noexcept {
       return "trace_cache_hits";
     case Counter::kTraceCacheMisses:
       return "trace_cache_misses";
+    case Counter::kKernelBarriers:
+      return "kernel_barriers";
+    case Counter::kKernelCrossShardEvents:
+      return "kernel_cross_shard_events";
     case Counter::kCount:
       break;
   }
@@ -68,6 +72,8 @@ const char* hist_name(Hist hist) noexcept {
       return "snapshot_connectivity";
     case Hist::kEpidemicDelay:
       return "epidemic_delay_s";
+    case Hist::kKernelBatchSpan:
+      return "kernel_batch_span_s";
     case Hist::kCount:
       break;
   }
@@ -89,6 +95,10 @@ std::vector<double> default_edges(Hist hist) {
     }
     case Hist::kEpidemicDelay:
       return {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+    case Hist::kKernelBatchSpan:
+      // From single-instant batches (propagation-delay scale) up to the
+      // lookahead window (a Hello-interval fraction, typically <= 0.25 s).
+      return {1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 1.0};
     case Hist::kCount:
       break;
   }

@@ -46,6 +46,8 @@ enum class Counter : std::size_t {
   kSimEventsScheduled,    ///< events pushed into the simulator's queue
   kTraceCacheHits,        ///< scenario trace sets served from the cache
   kTraceCacheMisses,      ///< scenario trace sets generated on demand
+  kKernelBarriers,        ///< sharded-kernel batch drains (barrier epochs)
+  kKernelCrossShardEvents,  ///< node-local events scheduled across shards
   kCount                  // sentinel
 };
 
@@ -60,6 +62,7 @@ enum class Hist : std::size_t {
   kFloodDeliveryRatio,    ///< per-flood delivery ratio in [0, 1]
   kSnapshotConnectivity,  ///< per-snapshot strict pair connectivity
   kEpidemicDelay,         ///< end-to-end delay of delivered DTN messages (s)
+  kKernelBatchSpan,       ///< sim-time span of each sharded-kernel batch (s)
   kCount                  // sentinel
 };
 

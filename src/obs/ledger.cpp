@@ -57,6 +57,10 @@ const char* ledger_field_name(LedgerField field) noexcept {
       return "trace_cache_hit_rate";
     case LedgerField::kGridHitRate:
       return "grid_hit_rate";
+    case LedgerField::kKernelBarriers:
+      return "kernel_barriers";
+    case LedgerField::kKernelCrossShardShare:
+      return "kernel_cross_shard_share";
     case LedgerField::kCount:
       break;
   }
@@ -91,6 +95,10 @@ void RunLedger::capture(const RunObservation& observation,
       rate(trace_hits, trace_hits + counters.total(Counter::kTraceCacheMisses));
   grid_hit_rate = rate(counters.total(Counter::kMediumCandidatesAccepted),
                        counters.total(Counter::kMediumCandidates));
+  kernel_barriers = counters.total(Counter::kKernelBarriers);
+  kernel_cross_shard_share =
+      rate(counters.total(Counter::kKernelCrossShardEvents),
+           counters.total(Counter::kMediumDeliveries));
   captured = true;
 }
 
@@ -118,6 +126,10 @@ double RunLedger::value(LedgerField field) const noexcept {
       return trace_cache_hit_rate;
     case LedgerField::kGridHitRate:
       return grid_hit_rate;
+    case LedgerField::kKernelBarriers:
+      return static_cast<double>(kernel_barriers);
+    case LedgerField::kKernelCrossShardShare:
+      return kernel_cross_shard_share;
     case LedgerField::kCount:
       break;
   }

@@ -51,6 +51,8 @@ enum class LedgerField : std::size_t {
   kRecomputeHitRate,   ///< recompute-cache skips / refresh decisions
   kTraceCacheHitRate,  ///< trace-cache hits / acquisitions
   kGridHitRate,        ///< medium candidates accepted / examined
+  kKernelBarriers,     ///< sharded-kernel batch drains (0 when serial)
+  kKernelCrossShardShare,  ///< cross-shard fraction of node-local events
   kCount               // sentinel
 };
 
@@ -73,6 +75,8 @@ struct RunLedger {
   double recompute_hit_rate = 0.0;
   double trace_cache_hit_rate = 0.0;
   double grid_hit_rate = 0.0;
+  std::uint64_t kernel_barriers = 0;  ///< 0 under the serial kernel
+  double kernel_cross_shard_share = 0.0;  ///< cross-shard / medium deliveries
   bool captured = false;  ///< capture() ran (distinguishes empty slots)
 
   /// Derives every field from a finished run's observation. Phase splits

@@ -21,8 +21,12 @@ ScenarioConfig apply_env_overrides(ScenarioConfig base) {
   base.warmup = util::env_or("MSTC_WARMUP", base.warmup);
   if (util::env_flag("MSTC_MEDIUM_BRUTE")) base.medium_brute_force = true;
   if (util::env_flag("MSTC_NO_RECOMPUTE_CACHE")) base.recompute_cache = false;
+  base.recompute_cache_min_skip_rate = util::env_or(
+      "MSTC_RECOMPUTE_MIN_SKIP_RATE", base.recompute_cache_min_skip_rate);
   if (util::env_flag("MSTC_SNAPSHOT_BRUTE")) base.snapshot_brute_force = true;
   if (util::env_flag("MSTC_NO_TRACE_CACHE")) base.trace_cache = false;
+  base.shards = static_cast<std::size_t>(
+      util::env_or("MSTC_SHARDS", static_cast<std::int64_t>(base.shards)));
   return base;
 }
 

@@ -57,6 +57,14 @@ struct ScenarioConfig {
   /// byte-compares cache-on vs cache-off sweeps). Kept as an escape hatch
   /// mirroring medium_brute_force. Env: MSTC_NO_RECOMPUTE_CACHE=1.
   bool recompute_cache = true;
+  /// Recompute-cache self-bypass threshold (see
+  /// core::ControllerConfig::recompute_cache_min_skip_rate): when the
+  /// observed skip rate after the warmup window stays below this floor the
+  /// cache stops probing for the rest of the run. The default engages on
+  /// mobile fleets (waypoint skip rates are ~1%, below 2%) and leaves
+  /// static fleets (~90% skips) fully cached. 0 disables the bypass;
+  /// byte-identical either way. Env: MSTC_RECOMPUTE_MIN_SKIP_RATE.
+  double recompute_cache_min_skip_rate = 0.02;
   /// Measure snapshots with the brute-force O(n^2) pair scan instead of
   /// the grid-backed fast path. Byte-identical either way (differential
   /// suite tests/metrics/snapshot_grid_test.cpp); kept for A/B
@@ -69,6 +77,16 @@ struct ScenarioConfig {
   /// Determinism.TraceCacheSharedMatchesPerReplication. Env escape hatch:
   /// MSTC_NO_TRACE_CACHE=1.
   bool trace_cache = true;
+  /// Intra-replication parallelism: shard the event kernel spatially and
+  /// run shards concurrently within this one replication. 1 (default) is
+  /// the serial kernel, exactly; >= 2 requests that many x-axis strips
+  /// (clamped by fleet size and grid-cell width). Byte-identical to serial
+  /// for any value — pinned by
+  /// Determinism.ShardedKernelMatchesSerialByteForByte. The scenario falls
+  /// back to serial when a feature needs a global event order (csma MAC,
+  /// event tracing / flight recorder). Env: MSTC_SHARDS (count) and
+  /// MSTC_KERNEL_SERIAL=1 (force-serial escape hatch).
+  std::size_t shards = 1;
 
   // --- workload & measurement ---
   double duration = 30.0;       ///< simulated seconds

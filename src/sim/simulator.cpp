@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "util/thread_pool.hpp"
+
 namespace mstc::sim {
 
 void Simulator::reserve_events(std::size_t expected_events) {
@@ -13,8 +15,9 @@ void Simulator::reserve_events(std::size_t expected_events) {
 }
 
 // mstc:hot — runs once per scheduled event; slot reuse keeps it allocation-free
-void Simulator::schedule_at(Time at, Handler handler) {
+void Simulator::push_event(Time at, std::uint32_t key, Handler handler) {
   assert(at >= now_ && "cannot schedule in the past");
+  assert(!in_flush_ && "deferred node-local handlers must not schedule");
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -24,9 +27,57 @@ void Simulator::schedule_at(Time at, Handler handler) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(handler));
   }
-  heap_.push_back(HeapKey{at, next_sequence_++, slot});
+  heap_.push_back(HeapKey{at, next_sequence_++, slot, key});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (probe_ != nullptr) probe_->count(obs::Counter::kSimEventsScheduled);
+}
+
+void Simulator::schedule_at(Time at, Handler handler) {
+  push_event(at, kNoKey, std::move(handler));
+}
+
+void Simulator::schedule_serial(Time at, std::uint32_t node, Handler handler) {
+  assert(node < kNoKey);
+  assert(plan_.shards <= 1 || node < owner_.size());
+  push_event(at, node, std::move(handler));
+}
+
+// mstc:hot — the shard-queue entry: one push per Hello delivery
+void Simulator::schedule_local(Time at, std::uint32_t node, Handler handler) {
+  assert(node < kNoKey);
+  if (plan_.shards > 1) {
+    assert(node < owner_.size());
+    if (probe_ != nullptr && current_key_ != kNoKey &&
+        owner_[node] != owner_[current_key_]) {
+      probe_->count(obs::Counter::kKernelCrossShardEvents);
+    }
+    push_event(at, node | kLocalFlag, std::move(handler));
+    return;
+  }
+  push_event(at, kNoKey, std::move(handler));
+}
+
+void Simulator::configure_sharding(ShardPlan plan) {
+  assert(!in_flush_);
+  assert(deferred_total_ == 0 && "cannot reconfigure with a batch pending");
+  plan_ = std::move(plan);
+  if (plan_.shards <= 1) {
+    plan_.shards = 1;
+    next_epoch_ = std::numeric_limits<Time>::infinity();
+    return;
+  }
+  assert(plan_.remap && "sharded execution requires an ownership map");
+  plan_.remap(now_, owner_);
+  assert(!owner_.empty() && "remap must produce a node -> shard map");
+  pending_per_node_.assign(owner_.size(), 0u);
+  batches_.assign(plan_.shards, {});
+  for (auto& batch : batches_) batch.reserve(64);
+  if (plan_.lookahead <= 0.0) {
+    plan_.lookahead = std::numeric_limits<Time>::infinity();
+  }
+  next_epoch_ = plan_.epoch_interval > 0.0
+                    ? now_ + plan_.epoch_interval
+                    : std::numeric_limits<Time>::infinity();
 }
 
 // mstc:hot — runs once per dispatched event
@@ -43,6 +94,10 @@ Simulator::Handler Simulator::take_next() {
 }
 
 void Simulator::run_until(Time end) {
+  if (plan_.shards > 1) {
+    run_until_sharded(end);
+    return;
+  }
   while (!heap_.empty() && heap_.front().time <= end) {
     Handler handler = take_next();
     handler();
@@ -50,7 +105,95 @@ void Simulator::run_until(Time end) {
   now_ = end;
 }
 
+// mstc:hot — the sharded dispatch loop; pops and deferrals reuse pre-grown
+// per-shard run lists, so the steady state stays allocation-free
+void Simulator::run_until_sharded(Time end) {
+  while (!heap_.empty() && heap_.front().time <= end) {
+    const HeapKey top = heap_.front();
+    if (top.time >= next_epoch_) {
+      // Epoch barrier: drain, then let the scenario re-balance ownership
+      // from current positions. Batches are always empty across a remap,
+      // so no deferred event ever changes hands.
+      flush_batches();
+      plan_.remap(top.time, owner_);
+      do {
+        next_epoch_ += plan_.epoch_interval;
+      } while (next_epoch_ <= top.time);
+    }
+    if (deferred_total_ != 0 && top.time - batch_start_ > plan_.lookahead) {
+      flush_batches();
+    }
+    if ((top.key & kLocalFlag) != 0u) {
+      // Node-local: pop without executing; runs at the next barrier. The
+      // clock and counters advance exactly as if it ran here, so serial
+      // events interleaved with deferrals observe identical sequencing.
+      const std::uint32_t node = top.key & ~kLocalFlag;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      now_ = top.time;
+      current_sequence_ = top.sequence;
+      ++processed_;
+      if (deferred_total_ == 0) batch_start_ = top.time;
+      batch_end_ = top.time;
+      batches_[owner_[node]].push_back(Deferred{top.slot, node});
+      ++pending_per_node_[node];
+      ++deferred_total_;
+    } else {
+      // Serial: drain first if this event could observe deferred state —
+      // keyed events conflict only with their own node's pending work,
+      // unkeyed events with any.
+      if (deferred_total_ != 0 &&
+          (top.key == kNoKey || pending_per_node_[top.key] != 0)) {
+        flush_batches();
+      }
+      Handler handler = take_next();
+      current_key_ = top.key;
+      handler();
+      current_key_ = kNoKey;
+    }
+  }
+  flush_batches();
+  now_ = end;
+}
+
+// mstc:hot — barrier drain: executes deferred node-local handlers in heap
+// pop order per shard, shard-parallel when more than one shard has work
+void Simulator::flush_batches() {
+  if (deferred_total_ == 0) return;
+  if (probe_ != nullptr) {
+    probe_->count(obs::Counter::kKernelBarriers);
+    probe_->observe(obs::Hist::kKernelBatchSpan, batch_end_ - batch_start_);
+  }
+  std::size_t busy = 0;
+  for (const auto& batch : batches_) busy += batch.empty() ? 0u : 1u;
+  in_flush_ = true;
+  if (busy <= 1 || plan_.pool == nullptr || plan_.pool->thread_count() == 1) {
+    for (const auto& batch : batches_) {
+      for (const Deferred& deferred : batch) slots_[deferred.slot]();
+    }
+  } else {
+    util::parallel_for_chunked(
+        *plan_.pool, batches_.size(), 1, [this](std::size_t shard) {
+          for (const Deferred& deferred : batches_[shard]) {
+            slots_[deferred.slot]();
+          }
+        });
+  }
+  in_flush_ = false;
+  for (auto& batch : batches_) {
+    for (const Deferred& deferred : batch) {
+      free_slots_.push_back(deferred.slot);
+      --pending_per_node_[deferred.node];
+    }
+    batch.clear();
+  }
+  deferred_total_ = 0;
+}
+
 void Simulator::run_all() {
+  // Serial-only convenience (no callers drive an open-ended sharded run;
+  // sharded scenarios always know their horizon and use run_until).
+  assert(plan_.shards <= 1 && "run_all is serial-only; use run_until");
   while (!heap_.empty()) {
     Handler handler = take_next();
     handler();

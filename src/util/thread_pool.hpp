@@ -47,7 +47,20 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished. Safe to call
   /// concurrently from several threads; tasks submitted concurrently with
   /// the call may or may not be waited for.
+  ///
+  /// Deadlock hazard: a pool *worker* must never call wait_idle() — its own
+  /// task is counted in the in-flight total, so the wait can never be
+  /// satisfied. Code that needs to wait for sub-tasks from inside a worker
+  /// should use per-call completion state plus try_run_one() (the pattern
+  /// parallel_for_chunked implements) instead.
   void wait_idle() MSTC_EXCLUDES(mutex_);
+
+  /// Pops one queued task, if any, and runs it on the calling thread.
+  /// Returns false without blocking when the queue is empty. This is the
+  /// cooperative-scheduling primitive for nested submission: a thread that
+  /// must wait for pool work can drain the queue itself instead of parking
+  /// a thread the queued work may need to make progress.
+  bool try_run_one() MSTC_EXCLUDES(mutex_);
 
  private:
   void worker_loop() MSTC_EXCLUDES(mutex_);
@@ -85,6 +98,13 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 /// balanced escape hatch (one index per grab, the pre-chunking behavior).
 /// Larger chunks amortize counter traffic for cheap bodies at the price of
 /// coarser load balancing.
+///
+/// Nested-submission safe: the caller participates in its own chunk loop
+/// and waits on per-call completion state rather than wait_idle(), so a
+/// pool worker may issue a parallel_for over the same pool (replication
+/// task fanning out shard tasks). Even with every other worker busy the
+/// calling thread runs all chunks itself — helping run the call's queued
+/// work instead of deadlocking on its own in-flight task.
 void parallel_for_chunked(ThreadPool& pool, std::size_t n, std::size_t chunk,
                           const std::function<void(std::size_t)>& body);
 

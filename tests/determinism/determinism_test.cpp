@@ -311,6 +311,69 @@ TEST(Determinism, ChunkSizeOneSweepMatchesDefaultChunking) {
       << "chunk granularity changed sweep results";
 }
 
+TEST(Determinism, ShardedKernelMatchesSerialByteForByte) {
+  // The sharded event kernel (PR 8) partitions the fleet into x-axis
+  // strips and drains node-local events shard-parallel between
+  // conservative barriers. Sharding is pure scheduling: any shard count
+  // must byte-match the serial kernel, for mobile and static fleets, per
+  // replication. Divergence means an event was misclassified (a "local"
+  // handler touched shared state) or a barrier fired too late.
+  ScenarioConfig waypoint;
+  waypoint.protocol = "RNG";
+  waypoint.average_speed = 30.0;
+  waypoint.duration = 6.0;
+  waypoint.warmup = 1.5;
+  waypoint.seed = 246813579;
+
+  ScenarioConfig still = waypoint;
+  still.mobility_model = "static";
+  still.protocol = "MST";
+  still.mode = core::ConsistencyMode::kWeak;
+
+  for (const auto& base : {waypoint, still}) {
+    const auto reference = bit_snapshot(serial_reference({base}, kRepeats));
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ScenarioConfig sharded = base;
+      sharded.shards = shards;
+      ASSERT_EQ(bit_snapshot(serial_reference({sharded}, kRepeats)),
+                reference)
+          << base.mobility_model << " fleet diverged at " << shards
+          << " shards";
+    }
+
+    // Env path: MSTC_SHARDS is how sweeps and benches opt in.
+    ASSERT_EQ(setenv("MSTC_SHARDS", "3", 1), 0);
+    const ScenarioConfig env_sharded = apply_env_overrides(base);
+    EXPECT_EQ(env_sharded.shards, 3u);
+    const auto via_env =
+        bit_snapshot(serial_reference({env_sharded}, kRepeats));
+    // Escape hatch: MSTC_KERNEL_SERIAL=1 forces the serial kernel even
+    // with a shard count configured.
+    ASSERT_EQ(setenv("MSTC_KERNEL_SERIAL", "1", 1), 0);
+    const auto hatched =
+        bit_snapshot(serial_reference({env_sharded}, kRepeats));
+    ASSERT_EQ(unsetenv("MSTC_KERNEL_SERIAL"), 0);
+    ASSERT_EQ(unsetenv("MSTC_SHARDS"), 0);
+    ASSERT_EQ(via_env, reference);
+    ASSERT_EQ(hatched, reference);
+  }
+}
+
+TEST(Determinism, ShardedReplicationsShareThePoolWithSweeps) {
+  // Shards and replications share one ThreadPool: a sweep task running a
+  // sharded replication re-enters the pool at every barrier drain
+  // (nested submission). The pool's caller-participates contract makes
+  // that deadlock-free, and results must still byte-match serial.
+  auto configs = representative_configs();
+  for (auto& config : configs) config.shards = 4;
+  const auto reference = bit_snapshot(serial_reference(configs, kRepeats));
+  util::ThreadPool pool(3);
+  const auto pooled = bit_snapshot(run_batch_raw(configs, kRepeats, pool));
+  ASSERT_EQ(pooled, reference)
+      << "sharded replications through a sweep pool diverged from serial";
+}
+
 TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {
   // Pool reuse across batches must not leak state between sweeps.
   const auto configs = representative_configs();

@@ -1,0 +1,267 @@
+// Sharded-kernel differential suite (ctest label "concurrency").
+//
+// Simulator-level edge cases for the spatially sharded event kernel:
+// every test runs a workload of interleaved serial / node-local events
+// through the serial kernel and through sharded plans (rotating
+// ownership, barrier-aligned events, infinite lookahead, one-node
+// shards) and requires the recorded execution — per-node delivery logs,
+// the serial-event log, and the processed-event count — to match exactly.
+// The pool is always multi-threaded so the TSan job exercises real
+// cross-thread batch drains even on single-core runners.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/probe.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mstc::sim {
+namespace {
+
+// (time, tag) records; exact doubles, so comparisons are bit-strict.
+using Recorded = std::pair<double, int>;
+
+struct WorkloadResult {
+  std::vector<std::vector<Recorded>> node_logs;  // per-node local deliveries
+  std::vector<Recorded> serial_log;              // serial events, global order
+  std::vector<double> remap_times;               // when ownership was mapped
+  std::uint64_t processed = 0;
+};
+
+constexpr int kNodes = 8;
+constexpr double kHorizon = 10.0;
+
+// One node's beacon-like chain: a serial event that records itself,
+// fans two node-local deliveries out to neighbors, and reschedules.
+// Mirrors the scenario's shape (serial sender, deferred receivers).
+void chain(Simulator& sim, std::uint32_t u, double period,
+           WorkloadResult& result) {
+  const double now = sim.now();
+  result.serial_log.emplace_back(now, static_cast<int>(u));
+  for (std::uint32_t k = 1; k <= 2; ++k) {
+    const std::uint32_t v = (u + k) % kNodes;
+    const double at = now + 0.01;
+    auto& log = result.node_logs[v];
+    sim.schedule_local(at, v, [&log, at, u] {
+      log.emplace_back(at, static_cast<int>(u));
+    });
+  }
+  if (now + period <= kHorizon) {
+    sim.schedule_serial(now + period, u, [&sim, u, period, &result] {
+      chain(sim, u, period, result);
+    });
+  }
+}
+
+struct PlanSpec {
+  std::uint32_t shards = 1;
+  double lookahead = 0.0;
+  double epoch_interval = 0.0;
+  util::ThreadPool* pool = nullptr;
+  bool rotate_ownership = false;  // shift the node -> shard map per epoch
+};
+
+WorkloadResult run_workload(const PlanSpec& spec,
+                            obs::RunObservation* observation = nullptr) {
+  Simulator sim;
+  const obs::Probe probe(observation);
+  sim.set_probe(observation != nullptr ? &probe : nullptr);
+  WorkloadResult result;
+  result.node_logs.resize(kNodes);
+  if (spec.shards > 1) {
+    Simulator::ShardPlan plan;
+    plan.shards = spec.shards;
+    plan.lookahead = spec.lookahead;
+    plan.epoch_interval = spec.epoch_interval;
+    plan.pool = spec.pool;
+    plan.remap = [&result, spec](double t, std::vector<std::uint32_t>& owner) {
+      result.remap_times.push_back(t);
+      owner.resize(kNodes);
+      // Rotating the strip map at every epoch makes every node cross a
+      // shard boundary mid-run; ownership is a load-balancing choice, so
+      // results must not care.
+      const auto shift =
+          spec.rotate_ownership ? static_cast<std::uint32_t>(t) : 0u;
+      for (std::uint32_t u = 0; u < kNodes; ++u) {
+        owner[u] = (u + shift) % spec.shards;
+      }
+    };
+    sim.configure_sharding(std::move(plan));
+  }
+  for (std::uint32_t u = 0; u < kNodes; ++u) {
+    const double period = 0.4 + 0.05 * static_cast<double>(u);
+    sim.schedule_serial(0.05 * static_cast<double>(u), u,
+                        [&sim, u, period, &result] {
+                          chain(sim, u, period, result);
+                        });
+  }
+  sim.run_until(kHorizon);
+  result.processed = sim.processed_events();
+  return result;
+}
+
+void expect_matches(const WorkloadResult& sharded,
+                    const WorkloadResult& serial, const char* what) {
+  EXPECT_EQ(sharded.serial_log, serial.serial_log) << what;
+  EXPECT_EQ(sharded.processed, serial.processed) << what;
+  for (int v = 0; v < kNodes; ++v) {
+    EXPECT_EQ(sharded.node_logs[static_cast<std::size_t>(v)],
+              serial.node_logs[static_cast<std::size_t>(v)])
+        << what << ": node " << v;
+  }
+}
+
+TEST(ShardedKernel, MatchesSerialAcrossShardCounts) {
+  const WorkloadResult serial = run_workload({});
+  util::ThreadPool pool(4);
+  for (const std::uint32_t shards : {2u, 3u, 8u}) {
+    const WorkloadResult sharded = run_workload(
+        {.shards = shards, .lookahead = 0.05, .epoch_interval = 1.0,
+         .pool = &pool});
+    expect_matches(sharded, serial, "fixed ownership");
+  }
+}
+
+TEST(ShardedKernel, BoundaryCrossingMidEpochIsHarmless) {
+  // Ownership rotates at every epoch: each node's deliveries land in a
+  // different shard's batch after each remap. Per-node order and the
+  // global schedule must be untouched.
+  const WorkloadResult serial = run_workload({});
+  util::ThreadPool pool(4);
+  const WorkloadResult sharded = run_workload(
+      {.shards = 3, .lookahead = 0.05, .epoch_interval = 0.5, .pool = &pool,
+       .rotate_ownership = true});
+  expect_matches(sharded, serial, "rotating ownership");
+  // configure + one remap per epoch barrier actually reached.
+  EXPECT_GT(sharded.remap_times.size(), 10u);
+}
+
+TEST(ShardedKernel, EventExactlyAtBarrierTimeDrainsFirst) {
+  // An event timestamped exactly on an epoch boundary must observe the
+  // flushed, remapped world: the barrier fires at time >= epoch, not >.
+  util::ThreadPool pool(4);
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<double> remaps;
+  Simulator::ShardPlan plan;
+  plan.shards = 2;
+  plan.epoch_interval = 1.0;
+  plan.pool = &pool;
+  plan.remap = [&remaps](double t, std::vector<std::uint32_t>& owner) {
+    remaps.push_back(t);
+    owner.assign(kNodes, 0);
+    owner[1] = 1;
+  };
+  sim.configure_sharding(std::move(plan));
+  sim.schedule_local(0.995, 1, [&order] { order.push_back(1); });
+  // Keyed to node 0 — no pending conflict of its own, so only the epoch
+  // barrier can force the drain before it runs.
+  sim.schedule_serial(1.0, 0, [&order] { order.push_back(2); });
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  ASSERT_EQ(remaps.size(), 2u);  // configure time + the t = 1.0 epoch
+  EXPECT_EQ(remaps[0], 0.0);
+  EXPECT_EQ(remaps[1], 1.0);
+}
+
+TEST(ShardedKernel, ZeroSpeedFleetClampsToOneFinalBarrier) {
+  // A zero-speed fleet maps to lookahead <= 0 (clamped to infinity) and
+  // no remap epochs: with no conflicting serial events, every node-local
+  // event defers to one batch drained at the end of the run.
+  util::ThreadPool pool(4);
+  obs::RunObservation observation;
+  Simulator sim;
+  const obs::Probe probe(&observation);
+  sim.set_probe(&probe);
+  Simulator::ShardPlan plan;
+  plan.shards = 2;
+  plan.lookahead = 0.0;       // <= 0 means unbounded
+  plan.epoch_interval = 0.0;  // no epochs
+  plan.pool = &pool;
+  std::size_t remaps = 0;
+  plan.remap = [&remaps](double, std::vector<std::uint32_t>& owner) {
+    ++remaps;
+    owner.assign(kNodes, 0);
+    owner[1] = 1;
+  };
+  sim.configure_sharding(std::move(plan));
+  std::vector<Recorded> log0;
+  std::vector<Recorded> log1;
+  for (int i = 0; i < 9; ++i) {
+    const double at = 1.0 + static_cast<double>(i);
+    sim.schedule_local(at, i % 2 == 0 ? 0u : 1u,
+                       [&log0, &log1, at, i] {
+                         (i % 2 == 0 ? log0 : log1).emplace_back(at, i);
+                       });
+  }
+  sim.run_until(20.0);
+  EXPECT_EQ(remaps, 1u);  // configure-time map only
+  EXPECT_EQ(observation.counters.total(obs::Counter::kKernelBarriers), 1u);
+  ASSERT_EQ(log0.size(), 5u);
+  ASSERT_EQ(log1.size(), 4u);
+  for (std::size_t i = 1; i < log0.size(); ++i) {
+    EXPECT_LT(log0[i - 1].first, log0[i].first) << "per-node FIFO broken";
+  }
+  // The one batch spanned the whole deferred window.
+  const auto& span =
+      observation.counters.histogram(obs::Hist::kKernelBatchSpan);
+  EXPECT_EQ(span.count(), 1u);
+  EXPECT_DOUBLE_EQ(span.sum(), 8.0);
+}
+
+TEST(ShardedKernel, SingleNodeShardsMatchSerial) {
+  // Degenerate partition: one node per shard. Every delivery with a
+  // distinct target lands in a distinct batch.
+  const WorkloadResult serial = run_workload({});
+  util::ThreadPool pool(4);
+  const WorkloadResult sharded = run_workload(
+      {.shards = kNodes, .lookahead = 0.1, .epoch_interval = 2.0,
+       .pool = &pool});
+  expect_matches(sharded, serial, "one-node shards");
+}
+
+TEST(ShardedKernel, LookaheadCapBoundsBatchSpans) {
+  // A finite lookahead must force intermediate barriers: batch spans stay
+  // below the cap even with no conflicting serial events.
+  util::ThreadPool pool(4);
+  obs::RunObservation observation;
+  const WorkloadResult serial = run_workload({});
+  const WorkloadResult sharded = run_workload(
+      {.shards = 4, .lookahead = 0.02, .epoch_interval = 0.0, .pool = &pool},
+      &observation);
+  expect_matches(sharded, serial, "tight lookahead");
+  EXPECT_GT(observation.counters.total(obs::Counter::kKernelBarriers), 20u);
+}
+
+TEST(ShardedKernel, CrossShardSchedulingIsCounted) {
+  util::ThreadPool pool(2);
+  obs::RunObservation observation;
+  Simulator sim;
+  const obs::Probe probe(&observation);
+  sim.set_probe(&probe);
+  Simulator::ShardPlan plan;
+  plan.shards = 2;
+  plan.pool = &pool;
+  plan.remap = [](double, std::vector<std::uint32_t>& owner) {
+    owner.assign(2, 0);
+    owner[1] = 1;
+  };
+  sim.configure_sharding(std::move(plan));
+  bool own_shard = false;
+  bool other_shard = false;
+  sim.schedule_serial(1.0, 0, [&sim, &own_shard, &other_shard] {
+    sim.schedule_local(1.1, 0, [&own_shard] { own_shard = true; });
+    sim.schedule_local(1.1, 1, [&other_shard] { other_shard = true; });
+  });
+  sim.run_until(2.0);
+  EXPECT_TRUE(own_shard);
+  EXPECT_TRUE(other_shard);
+  EXPECT_EQ(observation.counters.total(obs::Counter::kKernelCrossShardEvents),
+            1u);
+}
+
+}  // namespace
+}  // namespace mstc::sim

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace mstc::util {
@@ -105,6 +107,76 @@ TEST(ParallelForChunked, ChunkSizeDoesNotChangeSlotResults) {
                          [&](std::size_t i) { out[i] = body(i); });
     EXPECT_EQ(out, serial) << "chunk size " << chunk;
   }
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueueFromCaller) {
+  ThreadPool pool(2);
+  // Park both workers so the tasks submitted next stay queued; wait until
+  // the workers have actually claimed the parking tasks, or try_run_one
+  // below could claim one itself and spin on a flag this thread sets later.
+  std::atomic<bool> release{false};
+  std::atomic<int> parked{0};
+  for (int w = 0; w < 2; ++w) {
+    pool.submit([&release, &parked] {
+      parked.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (parked.load() < 2) std::this_thread::yield();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  // The calling thread runs the queued work itself.
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(counter.load(), 5);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ParallelForChunked, NestedSubmissionDoesNotDeadlock) {
+  // Regression test for the sharded-kernel pattern: a replication task
+  // running *on* the pool fans a parallel_for over the same pool. With the
+  // old wait_idle()-based implementation every outer task counted itself
+  // in the in-flight total, so any nested wait deadlocked; the
+  // caller-participating rewrite must finish even when outer tasks occupy
+  // every worker. TSan (the concurrency label) checks the completion
+  // handshake while it runs.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8;  // > workers: some outer tasks queue
+  constexpr std::size_t kInner = 64;
+  std::vector<std::array<std::atomic<int>, kInner>> visits(kOuter);
+  std::atomic<int> outer_done{0};
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    pool.submit([&pool, &visits, &outer_done, o] {
+      parallel_for_chunked(pool, kInner, 1, [&visits, o](std::size_t i) {
+        visits[o][i].fetch_add(1);
+      });
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(outer_done.load(), static_cast<int>(kOuter));
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(visits[o][i].load(), 1) << "outer " << o << " inner " << i;
+    }
+  }
+}
+
+TEST(ParallelForChunked, NestedFromSingleWorkerRunsInline) {
+  // Worst case: a one-worker pool whose only worker issues the nested
+  // call. Nothing else can help, so the worker must run every index
+  // itself and return.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    parallel_for(pool, 100, [&count](std::size_t) { count.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(DefaultParallelChunk, HeuristicKeepsSmallSweepsMaximallyBalanced) {

@@ -258,10 +258,97 @@ def self_snapshot(data: dict) -> None:
               "snapshot.trace_cache_sweep: results_identical is not true")
 
 
+# --- bench_parallel --------------------------------------------------------
+
+# Minimum cores for speedup gating: below this the machine cannot express
+# shard parallelism and the serial/sharded wall ratio is pure noise.
+PARALLEL_MIN_CORES = 4
+# Absolute speedup floor on capable machines for large fleets.
+PARALLEL_SPEEDUP_FLOOR = 2.5
+PARALLEL_SPEEDUP_FLOOR_NODES = 10000
+
+
+def compare_parallel(fresh: dict, base: dict, args) -> None:
+    fresh_rows = index_rows(fresh.get("results", []), "label")
+    base_rows = index_rows(base.get("results", []), "label")
+    shared = sorted(set(fresh_rows) & set(base_rows))
+    check(bool(shared), "bench_parallel: no common row labels to compare")
+    fresh_cores = fresh.get("config", {}).get("cores", 0)
+    base_cores = base.get("config", {}).get("cores", 0)
+    for label in shared:
+        fr, br = fresh_rows[label], base_rows[label]
+        check(fr.get("results_identical") is True,
+              f"parallel[{label}]: sharded run diverged from serial "
+              "(results_identical false)")
+        # Event counts are pure functions of (config, seed) — per arm.
+        # (The arms legitimately differ from each other: the sharded
+        # kernel adds one deferred-refresh event per Hello.)
+        for arm in ("serial", "sharded"):
+            check(fr[arm]["events"] == br[arm]["events"],
+                  f"parallel[{label}].{arm}: event count changed "
+                  f"{br[arm]['events']} -> {fr[arm]['events']} — "
+                  "simulation behavior drifted; regenerate baselines "
+                  "deliberately if intended")
+        # Barrier schedule and cross-shard traffic are deterministic too
+        # (shard resolution depends on geometry, never on the machine).
+        check(fr["sharded"]["kernel_barriers"] ==
+              br["sharded"]["kernel_barriers"],
+              f"parallel[{label}]: kernel_barriers changed "
+              f"{br['sharded']['kernel_barriers']} -> "
+              f"{fr['sharded']['kernel_barriers']}")
+        check(abs(fr["sharded"]["cross_shard_share"] -
+                  br["sharded"]["cross_shard_share"]) <= 1e-3,
+              f"parallel[{label}]: cross_shard_share changed "
+              f"{br['sharded']['cross_shard_share']:.4f} -> "
+              f"{fr['sharded']['cross_shard_share']:.4f}")
+        # Speedup is machine-bound: regression-gate it only when both
+        # machines could express parallelism at all.
+        if (fresh_cores >= PARALLEL_MIN_CORES
+                and base_cores >= PARALLEL_MIN_CORES):
+            check_ratio(f"parallel[{label}]: speedup", fr["speedup"],
+                        br["speedup"], args.tolerance,
+                        br["serial"]["wall_s"], args.min_wall)
+        # Absolute floor on capable machines: large fleets must show the
+        # sharded kernel actually paying off.
+        if (fresh_cores >= PARALLEL_MIN_CORES
+                and fr.get("nodes", 0) >= PARALLEL_SPEEDUP_FLOOR_NODES
+                and fr["serial"]["wall_s"] >= args.min_wall):
+            check(fr["speedup"] >= PARALLEL_SPEEDUP_FLOOR,
+                  f"parallel[{label}]: speedup {fr['speedup']:.2f} below "
+                  f"the {PARALLEL_SPEEDUP_FLOOR}x floor on a "
+                  f"{fresh_cores}-core machine")
+
+
+def self_parallel(data: dict) -> None:
+    rows = data.get("results", [])
+    check(bool(rows), "bench_parallel: empty results")
+    config = data.get("config", {})
+    check(config.get("cores", 0) > 0, "bench_parallel: config lacks cores")
+    check(config.get("threads", 0) > 0, "bench_parallel: config lacks threads")
+    for row in rows:
+        label = row.get("label", "?")
+        check(row.get("results_identical") is True,
+              f"parallel[{label}]: results_identical is not true")
+        for arm in ("serial", "sharded"):
+            check(arm in row, f"parallel[{label}]: missing '{arm}'")
+            if arm in row:
+                check(row[arm].get("events", 0) > 0,
+                      f"parallel[{label}].{arm}: zero events")
+        if "sharded" in row:
+            check(row["sharded"].get("kernel_barriers", 0) > 0,
+                  f"parallel[{label}]: sharded arm never engaged "
+                  "(zero kernel_barriers)")
+        if "serial" in row and "sharded" in row:
+            check(row["sharded"]["events"] >= row["serial"]["events"],
+                  f"parallel[{label}]: sharded arm processed fewer events "
+                  "than serial (deferred refreshes missing)")
+
+
 HANDLERS = {
     "bench_kernel": (compare_kernel, self_kernel),
     "bench_scale": (compare_scale, self_scale),
     "bench_snapshot": (compare_snapshot, self_snapshot),
+    "bench_parallel": (compare_parallel, self_parallel),
 }
 
 
