@@ -1,27 +1,36 @@
-// Sharded-kernel benchmark: serial vs intra-replication parallel DES.
+// Event-kernel benchmark: queue backends and intra-replication sharding.
 //
-// Each row runs one replication of the full scenario pipeline twice —
-// once on the serial event kernel (shards = 1) and once on the spatially
-// sharded kernel — at fixed density across n, and asserts the two arms'
-// RunStats are byte-identical (the sharded kernel's core contract; the
-// determinism suite pins the same property). Reported per arm:
+// Each row runs one replication of the full scenario pipeline three
+// times at fixed density across n —
+//
+//   serial_heap   binary-heap queue, serial kernel (the reference)
+//   serial        calendar queue, serial kernel
+//   sharded       calendar queue, spatially sharded kernel
+//
+// — and asserts all three arms' RunStats are byte-identical (the
+// pluggable queue's and the sharded kernel's core contracts; the
+// determinism suite pins both). Reported per arm:
 //
 //   events_per_s   simulator events per wall second (obs::Profiler's
 //                  event-loop measurement, setup excluded)
 //   wall_s         event-loop wall seconds
+//   queue/shards/threads   what the arm actually ran with
 //
-// and per row the sharded/serial speedup plus the sharded arm's barrier
-// count and cross-shard share. The speedup column is only meaningful on
-// a multi-core runner: `cores` (std::thread::hardware_concurrency) and
-// `threads` (the pool actually used) are recorded so tools/bench_check.py
-// can gate the ratio on machines that can express parallelism and gate
-// bit-identity everywhere. Writes BENCH_parallel.json:
+// and per row the sharded/serial speedup, the calendar/heap
+// queue_speedup, plus the sharded arm's barrier count and cross-shard
+// share. The shard speedup column is only meaningful on a multi-core
+// runner: `cores` (std::thread::hardware_concurrency) and per-arm
+// `threads` (the pool actually used) are recorded so
+// tools/bench_check.py can gate the ratio on machines that can express
+// parallelism and gate bit-identity (and the queue's scaling slope)
+// everywhere. Writes BENCH_parallel.json:
 //
 //   ./build/bench/bench_parallel                # full sweep -> BENCH_parallel.json
 //   ./build/bench/bench_parallel --out <path>   # alternate output path
 //   ./build/bench/bench_parallel --smoke        # CI guard: tiny n, asserts
-//                                               #   byte-identity + engaged
-//                                               #   barriers; no JSON
+//                                               #   byte-identity across all
+//                                               #   arms + engaged barriers;
+//                                               #   no JSON
 #include <bit>
 #include <cinttypes>
 #include <cmath>
@@ -111,15 +120,25 @@ struct ArmResult {
   std::uint64_t events = 0;
   std::uint64_t kernel_barriers = 0;
   double cross_shard_share = 0.0;
+  std::uint64_t queue_resizes = 0;
+  const char* queue = "heap";
+  std::uint32_t shards = 1;    // effective (post-clamp) shard count
+  std::size_t threads = 1;     // pool threads the arm can actually use
   std::vector<std::uint64_t> bits;
 };
 
-ArmResult run_arm(ScenarioConfig cfg, std::size_t shards) {
+ArmResult run_arm(ScenarioConfig cfg, std::size_t shards,
+                  const char* queue) {
   cfg.shards = shards;
+  cfg.queue = queue;
   mstc::obs::RunObservation observation;
   observation.profile_on = true;
   const RunStats stats = mstc::runner::run_scenario(cfg, &observation);
   ArmResult arm;
+  arm.queue = queue;
+  arm.shards = mstc::runner::resolved_shard_count(cfg);
+  arm.threads =
+      arm.shards > 1 ? mstc::util::global_pool().thread_count() : 1;
   arm.events = observation.profiler.events();
   arm.wall_s =
       static_cast<double>(observation.profiler.run_wall_ns()) * 1e-9;
@@ -135,39 +154,52 @@ ArmResult run_arm(ScenarioConfig cfg, std::size_t shards) {
       deliveries > 0 ? static_cast<double>(cross) /
                            static_cast<double>(deliveries)
                      : 0.0;
+  arm.queue_resizes =
+      observation.counters.total(mstc::obs::Counter::kKernelQueueResizes);
   arm.bits = bit_snapshot(stats);
   return arm;
 }
 
 struct RowResult {
   RowSpec spec;
+  ArmResult serial_heap;
   ArmResult serial;
   ArmResult sharded;
-  double speedup = 0.0;
+  double speedup = 0.0;        // sharded over serial (both calendar)
+  double queue_speedup = 0.0;  // calendar over heap (both serial)
   bool results_identical = false;
 };
 
 RowResult run_row(const RowSpec& row, std::uint64_t seed_stream) {
   RowResult result;
   result.spec = row;
-  result.serial = run_arm(make_config(row, seed_stream), 1);
+  result.serial_heap = run_arm(make_config(row, seed_stream), 1, "heap");
+  result.serial = run_arm(make_config(row, seed_stream), 1, "calendar");
   result.sharded =
-      run_arm(make_config(row, seed_stream), kShardsRequested);
-  result.speedup = result.serial.wall_s > 0.0
+      run_arm(make_config(row, seed_stream), kShardsRequested, "calendar");
+  result.speedup = result.sharded.wall_s > 0.0
                        ? result.serial.wall_s / result.sharded.wall_s
                        : 0.0;
-  // Byte-identity is on RunStats. Raw event counts legitimately differ:
-  // the sharded arm schedules one extra node-local event per Hello (the
-  // deferred post-send refresh), so both counts are reported instead.
-  result.results_identical = result.serial.bits == result.sharded.bits;
+  result.queue_speedup = result.serial.wall_s > 0.0
+                             ? result.serial_heap.wall_s / result.serial.wall_s
+                             : 0.0;
+  // Byte-identity is on RunStats. Raw event counts legitimately differ
+  // between serial and sharded (the sharded arm schedules one extra
+  // node-local event per Hello — the deferred post-send refresh), so
+  // both counts are reported instead; the two serial arms must match
+  // exactly (the queue backend cannot change what gets scheduled).
+  result.results_identical = result.serial.bits == result.sharded.bits &&
+                             result.serial.bits == result.serial_heap.bits;
   return result;
 }
 
 void print_row(const RowResult& r) {
   std::printf(
-      "%-22s serial %11.0f ev/s  sharded %11.0f ev/s  %.2fx  "
-      "(%" PRIu64 " barriers, cross %4.1f%%)  %s\n",
-      r.spec.label, r.serial.events_per_s, r.sharded.events_per_s, r.speedup,
+      "%-22s heap %11.0f ev/s  calendar %11.0f ev/s (%.2fx)  "
+      "sharded %11.0f ev/s (%.2fx)  (%" PRIu64 " barriers, cross %4.1f%%)  "
+      "%s\n",
+      r.spec.label, r.serial_heap.events_per_s, r.serial.events_per_s,
+      r.queue_speedup, r.sharded.events_per_s, r.speedup,
       r.sharded.kernel_barriers, r.sharded.cross_shard_share * 100.0,
       r.results_identical ? "identical" : "DIVERGED");
 }
@@ -178,9 +210,12 @@ void append_arm_json(std::string& json, const char* name,
   std::snprintf(buffer, sizeof(buffer),
                 "      \"%s\": {\"events_per_s\": %.1f, \"wall_s\": %.6f, "
                 "\"events\": %" PRIu64 ", \"kernel_barriers\": %" PRIu64
-                ", \"cross_shard_share\": %.4f}",
+                ", \"cross_shard_share\": %.4f, \"queue\": \"%s\", "
+                "\"shards\": %u, \"threads\": %zu, \"queue_resizes\": %" PRIu64
+                "}",
                 name, arm.events_per_s, arm.wall_s, arm.events,
-                arm.kernel_barriers, arm.cross_shard_share);
+                arm.kernel_barriers, arm.cross_shard_share, arm.queue,
+                arm.shards, arm.threads, arm.queue_resizes);
   json += buffer;
 }
 
@@ -208,13 +243,17 @@ bool write_json(const std::string& path, const std::vector<RowResult>& rows,
                   "    {\"label\": \"%s\", \"nodes\": %zu,\n", r.spec.label,
                   r.spec.nodes);
     json += buffer;
+    append_arm_json(json, "serial_heap", r.serial_heap);
+    json += ",\n";
     append_arm_json(json, "serial", r.serial);
     json += ",\n";
     append_arm_json(json, "sharded", r.sharded);
     json += ",\n";
     std::snprintf(buffer, sizeof(buffer),
-                  "      \"speedup\": %.2f, \"results_identical\": %s}",
-                  r.speedup, r.results_identical ? "true" : "false");
+                  "      \"speedup\": %.2f, \"queue_speedup\": %.2f, "
+                  "\"results_identical\": %s}",
+                  r.speedup, r.queue_speedup,
+                  r.results_identical ? "true" : "false");
     json += buffer;
     json += i + 1 < rows.size() ? ",\n" : "\n";
   }
@@ -227,16 +266,18 @@ bool write_json(const std::string& path, const std::vector<RowResult>& rows,
 }
 
 int run_smoke() {
-  std::printf("bench_parallel --smoke: sharded-kernel guard at tiny n\n");
+  std::printf(
+      "bench_parallel --smoke: queue + sharded-kernel guard at tiny n\n");
   int failures = 0;
   std::uint64_t stream = 1;
   for (const RowSpec& spec : kSmokeRows) {
     const RowResult r = run_row(spec, stream++);
     print_row(r);
     if (!r.results_identical) {
-      std::fprintf(stderr,
-                   "FAIL %s: sharded kernel diverged from serial\n",
-                   spec.label);
+      std::fprintf(
+          stderr,
+          "FAIL %s: heap / calendar / sharded arms are not byte-identical\n",
+          spec.label);
       ++failures;
     }
     // Zero barriers means the run silently fell back to the serial
@@ -271,7 +312,8 @@ int main(int argc, char** argv) {
   if (smoke) return run_smoke();
 
   const std::size_t threads = mstc::util::global_pool().thread_count();
-  std::printf("=== sharded kernel: serial vs parallel replication ===\n");
+  std::printf(
+      "=== event kernel: heap vs calendar queue, serial vs sharded ===\n");
   std::printf(
       "RNG + ViewSync, fixed density, %.0f s per arm, %zu-thread pool "
       "(%u cores)\n\n",

@@ -152,12 +152,14 @@ void NodeController::refresh_selection_versioned(double now,
 
 void NodeController::note_cache_probe(bool hit) noexcept {
   if (hit) ++cache_skips_;
-  if (++cache_probes_ != kRecomputeCacheWarmup) return;
-  // One-shot decision at the end of the warmup window: a skip rate below
-  // the configured floor means fingerprints almost never match (mobile
-  // positions fold into the key), so probing is pure overhead.
+  if (++cache_probes_ < kRecomputeCacheWarmup) return;
+  // Checked at every probe past the warmup floor (not only when the count
+  // hits it exactly — short runs would otherwise never decide): a skip
+  // rate below the configured floor means fingerprints almost never match
+  // (mobile positions fold into the key), so probing is pure overhead.
+  // One-shot in effect: bypassing stops the probing that feeds this.
   const double skip_rate = static_cast<double>(cache_skips_) /
-                           static_cast<double>(kRecomputeCacheWarmup);
+                           static_cast<double>(cache_probes_);
   cache_bypassed_ = config_.recompute_cache_min_skip_rate > 0.0 &&
                     skip_rate < config_.recompute_cache_min_skip_rate;
 }

@@ -38,17 +38,27 @@ struct ControllerConfig {
   /// uncached path (MSTC_NO_RECOMPUTE_CACHE=1 at the scenario level).
   bool recompute_cache = true;
   /// Cache self-bypass for workloads fingerprinting cannot help (mobile
-  /// fleets change some position bits on almost every refresh): after
-  /// kRecomputeCacheWarmup cache probes, if the observed skip rate is
-  /// below this threshold the controller stops building and comparing
+  /// fleets change some position bits on almost every refresh): once a
+  /// node has seen kRecomputeCacheWarmup cache probes, every further probe
+  /// re-checks the cumulative skip rate, and the first time it sits below
+  /// this threshold the controller stops building and comparing
   /// fingerprints for the rest of the run, saving the key-build cost on
-  /// guaranteed misses. 0 disables the bypass (the cache always probes).
-  /// Never changes selections — only whether the shortcut is attempted.
+  /// guaranteed misses. The decision is one-shot (a bypassed cache stops
+  /// probing, so the rate can never recover) but no longer tied to hitting
+  /// the warmup count exactly — short runs whose refresh count lands past
+  /// the window still disengage. 0 disables the bypass (the cache always
+  /// probes). Never changes selections — only whether the shortcut is
+  /// attempted.
   double recompute_cache_min_skip_rate = 0.0;
 };
 
-/// Cache probes observed before the recompute-cache bypass decision.
-inline constexpr std::uint32_t kRecomputeCacheWarmup = 64;
+/// Minimum cache probes observed before any recompute-cache bypass
+/// decision. Hello-paced workloads probe roughly once per simulated
+/// second per node, so bench-scale runs (~18 s) only accumulate ~18
+/// probes — the floor must sit well inside that budget for the bypass to
+/// cover most of the measured window, while still averaging over enough
+/// probes that one early skip cannot flip the decision.
+inline constexpr std::uint32_t kRecomputeCacheWarmup = 8;
 
 class NodeController {
  public:

@@ -38,6 +38,23 @@ void SpatialGrid::rebuild(std::span<const geom::Vec2> positions,
   cols_ = static_cast<long>(std::floor(max_x / cell_size_)) - min_cx_ + 1;
   rows_ = static_cast<long>(std::floor(max_y / cell_size_)) - min_cy_ + 1;
 
+  // Cap the table at O(n) cells: a cell size far below the mean node
+  // spacing only multiplies the cells each query must walk (and, for a
+  // degenerate cell size, the allocation below) without shrinking any
+  // candidate set. Computed in double first — a tiny cell size over a
+  // large span overflows the long product.
+  const double requested =
+      static_cast<double>(cols_) * static_cast<double>(rows_);
+  const double cap = static_cast<double>(std::max<std::size_t>(
+      4 * positions_.size(), std::size_t{64}));
+  if (requested > cap) {
+    cell_size_ *= std::sqrt(requested / cap);
+    min_cx_ = static_cast<long>(std::floor(min_x / cell_size_));
+    min_cy_ = static_cast<long>(std::floor(min_y / cell_size_));
+    cols_ = static_cast<long>(std::floor(max_x / cell_size_)) - min_cx_ + 1;
+    rows_ = static_cast<long>(std::floor(max_y / cell_size_)) - min_cy_ + 1;
+  }
+
   const std::size_t cells = static_cast<std::size_t>(cols_ * rows_);
   cell_scratch_.resize(positions_.size());
   start_.assign(cells + 1, 0);

@@ -58,6 +58,8 @@ const char* counter_name(Counter counter) noexcept {
       return "kernel_barriers";
     case Counter::kKernelCrossShardEvents:
       return "kernel_cross_shard_events";
+    case Counter::kKernelQueueResizes:
+      return "kernel_queue_resizes";
     case Counter::kCount:
       break;
   }
@@ -74,6 +76,8 @@ const char* hist_name(Hist hist) noexcept {
       return "epidemic_delay_s";
     case Hist::kKernelBatchSpan:
       return "kernel_batch_span_s";
+    case Hist::kKernelBucketScanLen:
+      return "kernel_bucket_scan_len";
     case Hist::kCount:
       break;
   }
@@ -99,6 +103,10 @@ std::vector<double> default_edges(Hist hist) {
       // From single-instant batches (propagation-delay scale) up to the
       // lookahead window (a Hello-interval fraction, typically <= 0.25 s).
       return {1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 1.0};
+    case Hist::kKernelBucketScanLen:
+      // 1 = the base bucket held the minimum (the O(1) fast path); the
+      // tail diagnoses a bucket width too small for the event spacing.
+      return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0};
     case Hist::kCount:
       break;
   }

@@ -48,6 +48,7 @@ enum class Counter : std::size_t {
   kTraceCacheMisses,      ///< scenario trace sets generated on demand
   kKernelBarriers,        ///< sharded-kernel batch drains (barrier epochs)
   kKernelCrossShardEvents,  ///< node-local events scheduled across shards
+  kKernelQueueResizes,    ///< calendar-queue bucket-width rebuilds
   kCount                  // sentinel
 };
 
@@ -63,6 +64,7 @@ enum class Hist : std::size_t {
   kSnapshotConnectivity,  ///< per-snapshot strict pair connectivity
   kEpidemicDelay,         ///< end-to-end delay of delivered DTN messages (s)
   kKernelBatchSpan,       ///< sim-time span of each sharded-kernel batch (s)
+  kKernelBucketScanLen,   ///< calendar buckets inspected per queue search
   kCount                  // sentinel
 };
 

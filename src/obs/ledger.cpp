@@ -61,6 +61,8 @@ const char* ledger_field_name(LedgerField field) noexcept {
       return "kernel_barriers";
     case LedgerField::kKernelCrossShardShare:
       return "kernel_cross_shard_share";
+    case LedgerField::kKernelQueueResizes:
+      return "kernel_queue_resizes";
     case LedgerField::kCount:
       break;
   }
@@ -99,6 +101,7 @@ void RunLedger::capture(const RunObservation& observation,
   kernel_cross_shard_share =
       rate(counters.total(Counter::kKernelCrossShardEvents),
            counters.total(Counter::kMediumDeliveries));
+  kernel_queue_resizes = counters.total(Counter::kKernelQueueResizes);
   captured = true;
 }
 
@@ -130,6 +133,8 @@ double RunLedger::value(LedgerField field) const noexcept {
       return static_cast<double>(kernel_barriers);
     case LedgerField::kKernelCrossShardShare:
       return kernel_cross_shard_share;
+    case LedgerField::kKernelQueueResizes:
+      return static_cast<double>(kernel_queue_resizes);
     case LedgerField::kCount:
       break;
   }

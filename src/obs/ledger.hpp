@@ -53,6 +53,7 @@ enum class LedgerField : std::size_t {
   kGridHitRate,        ///< medium candidates accepted / examined
   kKernelBarriers,     ///< sharded-kernel batch drains (0 when serial)
   kKernelCrossShardShare,  ///< cross-shard fraction of node-local events
+  kKernelQueueResizes,  ///< calendar-queue rebuilds (0 under the heap)
   kCount               // sentinel
 };
 
@@ -77,6 +78,7 @@ struct RunLedger {
   double grid_hit_rate = 0.0;
   std::uint64_t kernel_barriers = 0;  ///< 0 under the serial kernel
   double kernel_cross_shard_share = 0.0;  ///< cross-shard / medium deliveries
+  std::uint64_t kernel_queue_resizes = 0;  ///< 0 under the heap backend
   bool captured = false;  ///< capture() ran (distinguishes empty slots)
 
   /// Derives every field from a finished run's observation. Phase splits

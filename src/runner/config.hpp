@@ -87,6 +87,13 @@ struct ScenarioConfig {
   /// event tracing / flight recorder). Env: MSTC_SHARDS (count) and
   /// MSTC_KERNEL_SERIAL=1 (force-serial escape hatch).
   std::size_t shards = 1;
+  /// Event-queue backend: "calendar" (default — the O(1) bucketed
+  /// scheduler, see sim/event_queue.hpp) or "heap" (the binary-heap
+  /// reference). Pop order is a strict (time, sequence) total order, so
+  /// both backends produce byte-identical results — pinned by
+  /// Determinism.CalendarQueueMatchesHeapByteForByte; the heap is kept as
+  /// the differential baseline and escape hatch. Env: MSTC_EVENT_QUEUE.
+  std::string queue = "calendar";
 
   // --- workload & measurement ---
   double duration = 30.0;       ///< simulated seconds

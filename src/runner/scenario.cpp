@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <numbers>
 #include <optional>
 #include <stdexcept>
 
@@ -116,6 +117,44 @@ std::uint32_t effective_shards(const ScenarioConfig& cfg,
   return static_cast<std::uint32_t>(clamped);
 }
 
+/// Resolves the event-queue backend and its bucket-width hint. The
+/// MSTC_EVENT_QUEUE escape hatch wins over cfg.queue; unknown names are a
+/// configuration error.
+sim::QueueConfig resolve_queue(const ScenarioConfig& cfg) {
+  const std::string name = util::env_or("MSTC_EVENT_QUEUE", cfg.queue);
+  const std::optional<sim::QueueBackend> backend =
+      sim::parse_queue_backend(name);
+  if (!backend.has_value()) {
+    throw std::invalid_argument("unknown event queue backend: " + name);
+  }
+  sim::QueueConfig queue;
+  queue.backend = *backend;
+  if (queue.backend == sim::QueueBackend::kCalendar) {
+    // Bucket-width hint from the scenario's timing shape: the event stream
+    // is dominated by the Hello fan-out — per interval each node sends
+    // once and receives ~degree deliveries, so the mean spacing is
+    // hello / (n * (1 + degree)). Width targets kTargetOccupancy events
+    // per bucket; the queue's occupancy self-resize corrects any drift
+    // (floods, MAC retries, expiry sweeps).
+    const double area = cfg.area.width * cfg.area.height;
+    const double fleet = static_cast<double>(cfg.node_count);
+    const double degree = std::min(
+        std::max(fleet - 1.0, 0.0),
+        area > 0.0 ? std::numbers::pi * cfg.normal_range * cfg.normal_range *
+                         fleet / area
+                   : 0.0);
+    const double per_interval = fleet * (1.0 + degree);
+    if (per_interval > 0.0 && cfg.hello_interval > 0.0) {
+      const double cap = std::max(1e-6, cfg.hello_interval / 16.0);
+      queue.bucket_width = std::clamp(
+          cfg.hello_interval * sim::EventQueue::kTargetOccupancy /
+              per_interval,
+          1e-6, cap);
+    }
+  }
+  return queue;
+}
+
 class Scenario {
  public:
   Scenario(const ScenarioConfig& cfg, obs::RunObservation* observation)
@@ -158,6 +197,7 @@ class Scenario {
     medium_.set_probe(&probe_);
     simulator_.set_probe(&probe_);
     configure_sharding(cfg, observation);
+    simulator_.configure_queue(resolve_queue(cfg));
     // Size the event kernel for the whole run up front: per-node beacon
     // chains plus the pre-scheduled flood and snapshot events (x2 covers
     // per-hop forwarding churn and MAC retries).
@@ -659,6 +699,10 @@ metrics::RunStats run_scenario(const ScenarioConfig& config,
     scenario.emplace(config, observation);
   }
   return scenario->run();
+}
+
+std::uint32_t resolved_shard_count(const ScenarioConfig& config) {
+  return effective_shards(config, nullptr);
 }
 
 }  // namespace mstc::runner

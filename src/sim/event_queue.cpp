@@ -1,0 +1,344 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <iterator>
+
+namespace mstc::sim {
+
+namespace {
+
+/// Reverse of EarlierEvent, for the std::push_heap/pop_heap min-heap.
+struct LaterEvent {
+  bool operator()(const EventKey& a, const EventKey& b) const noexcept {
+    return EarlierEvent{}(b, a);
+  }
+};
+
+}  // namespace
+
+std::optional<QueueBackend> parse_queue_backend(
+    std::string_view name) noexcept {
+  if (name == "heap") return QueueBackend::kHeap;
+  if (name == "calendar") return QueueBackend::kCalendar;
+  return std::nullopt;
+}
+
+const char* queue_backend_name(QueueBackend backend) noexcept {
+  switch (backend) {
+    case QueueBackend::kHeap:
+      return "heap";
+    case QueueBackend::kCalendar:
+      return "calendar";
+  }
+  return "unknown";
+}
+
+void EventQueue::configure(const QueueConfig& config) {
+  assert(size_ == 0 && "configure the queue before scheduling events");
+  config_ = config;
+  heap_.clear();
+  buckets_.clear();
+  mask_ = 0;
+  base_bucket_ = 0;
+  overflow_.clear();
+  overflow_min_bucket_ = kNoBucket;
+  have_staged_min_ = false;
+  peeked_ = false;
+  width_ = config.bucket_width > 0.0
+               ? std::clamp(config.bucket_width, kMinBucketWidth,
+                            kMaxBucketWidth)
+               : 0.0;
+}
+
+void EventQueue::reserve(std::size_t expected) {
+  expected_ = expected;
+  if (config_.backend == QueueBackend::kHeap) {
+    heap_.reserve(expected);
+    return;
+  }
+  // The ladder holds every far-future timer (≈ one per node in the beacon
+  // steady state) plus, before the width is known, every staged event.
+  overflow_.reserve(expected);
+  ensure_buckets();
+}
+
+// mstc:hot — one call per scheduled event
+void EventQueue::push(const EventKey& event) {
+  if (config_.backend == QueueBackend::kHeap) {
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), LaterEvent{});
+    ++size_;
+    return;
+  }
+  if (width_ == 0.0) {
+    // Staging mode: no width yet; park everything in the ladder and let
+    // the first pop derive a width from the observed spacing.
+    overflow_.push_back(event);
+    if (!have_staged_min_ || event.time < staged_min_time_) {
+      staged_min_time_ = event.time;
+      have_staged_min_ = true;
+    }
+    ++size_;
+    return;
+  }
+  push_calendar(event);
+  ++size_;
+}
+
+// mstc:hot — calendar insert: O(1) bucket append in steady state
+void EventQueue::push_calendar(const EventKey& event) {
+  if (buckets_.empty()) ensure_buckets();
+  const std::uint64_t b = bucket_of(event.time);
+  if (size_ == overflow_.size()) {
+    // The window holds nothing, so it is free to move: anchor it at the
+    // earliest known bucket (this event or the ladder minimum) so the
+    // next pops address their buckets directly.
+    const std::uint64_t anchor = std::min(b, overflow_min_bucket_);
+    if (anchor < base_bucket_ || anchor >= base_bucket_ + buckets_.size()) {
+      base_bucket_ = anchor;
+    }
+  }
+  if (b < base_bucket_ || b >= base_bucket_ + buckets_.size()) {
+    // Outside the window: the overflow ladder. b < base_bucket_ is only
+    // reachable by scheduling after a run_until boundary moved the clock
+    // short of the window; find_min rebuilds when the ladder minimum
+    // undercuts the base, so ordering stays exact.
+    overflow_.push_back(event);
+    if (b < overflow_min_bucket_) overflow_min_bucket_ = b;
+    if (peeked_ && b <= peek_bucket_) peeked_ = false;
+    return;
+  }
+  Bucket& bucket = buckets_[b & mask_];
+  bucket.events.push_back(event);
+  if (peeked_ &&
+      (b < peek_bucket_ ||
+       (b == peek_bucket_ &&
+        EarlierEvent{}(event, bucket.events[bucket.cursor])))) {
+    peeked_ = false;
+  }
+}
+
+// mstc:hot — once per dispatched event (pop reuses the peeked location)
+const EventKey& EventQueue::peek() {
+  assert(size_ > 0);
+  if (config_.backend == QueueBackend::kHeap) return heap_.front();
+  return *find_min_calendar();
+}
+
+// mstc:hot — once per dispatched event
+EventKey EventQueue::pop() {
+  assert(size_ > 0);
+  if (config_.backend == QueueBackend::kHeap) {
+    std::pop_heap(heap_.begin(), heap_.end(), LaterEvent{});
+    const EventKey out = heap_.back();
+    heap_.pop_back();
+    --size_;
+    return out;
+  }
+  const EventKey out = *find_min_calendar();
+  // Commit the window advance: every bucket the scan skipped is empty and
+  // already reset, so the base lands on the popped bucket. From here on
+  // the kernel clock is inside this bucket, and pushes are never earlier
+  // than the clock, so nothing can land below the new base.
+  base_bucket_ = peek_bucket_;
+  Bucket& bucket = buckets_[base_bucket_ & mask_];
+  ++bucket.cursor;
+  if (bucket.cursor == bucket.events.size()) {
+    bucket.events.clear();
+    bucket.cursor = 0;
+    bucket.sorted = 0;
+  }
+  --size_;
+  peeked_ = false;
+  if (++pops_since_check_ >= kResizeCheckInterval) maybe_resize();
+  return out;
+}
+
+// mstc:hot — the calendar's search core; amortized O(1) per event
+const EventKey* EventQueue::find_min_calendar() {
+  if (peeked_) {
+    Bucket& bucket = buckets_[peek_bucket_ & mask_];
+    return &bucket.events[bucket.cursor];
+  }
+  if (width_ == 0.0) init_width();
+  for (;;) {
+    if (size_ == overflow_.size()) {
+      // Window drained: rebase it at the ladder minimum and pull the
+      // in-range slice in. O(ladder) once per window span.
+      redistribute_overflow();
+      continue;
+    }
+    std::uint64_t b = base_bucket_;
+    std::size_t scanned = 0;
+    for (;;) {
+      const Bucket& bucket = buckets_[b & mask_];
+      if (bucket.cursor < bucket.events.size()) break;
+      ++b;
+      ++scanned;
+      assert(scanned <= buckets_.size() && "window lost an event");
+    }
+    if (overflow_min_bucket_ <= b) {
+      // The ladder owns a bucket at or before the candidate (its slice
+      // entered the window, or an idle-time push undercut the base):
+      // merge it in before popping anything at or past it.
+      redistribute_overflow();
+      continue;
+    }
+    stat_scanned_ += scanned;
+    ++stat_finds_;
+    if (probe_ != nullptr) {
+      probe_->observe(obs::Hist::kKernelBucketScanLen,
+                      static_cast<double>(scanned + 1));
+    }
+    Bucket& bucket = buckets_[b & mask_];
+    ensure_sorted(bucket);
+    peek_bucket_ = b;
+    peeked_ = true;
+    return &bucket.events[bucket.cursor];
+  }
+}
+
+// mstc:hot — sorts a bucket's append tail and merges it into the
+// unconsumed suffix; scratch_ reuses its capacity, so steady state is
+// allocation-free
+void EventQueue::ensure_sorted(Bucket& bucket) {
+  const std::size_t size = bucket.events.size();
+  if (bucket.sorted == size) return;
+  if (bucket.sorted == 0) {
+    ++stat_sorted_buckets_;
+    stat_sorted_events_ += size;
+  }
+  const auto begin = bucket.events.begin();
+  std::sort(begin + bucket.sorted, bucket.events.end(), EarlierEvent{});
+  // Merge only when the tail actually interleaves with the sorted
+  // unconsumed suffix [cursor, sorted); appends usually sort after it.
+  if (bucket.cursor < bucket.sorted &&
+      EarlierEvent{}(bucket.events[bucket.sorted],
+                     bucket.events[bucket.sorted - 1])) {
+    scratch_.clear();
+    std::merge(begin + bucket.cursor, begin + bucket.sorted,
+               begin + bucket.sorted, bucket.events.end(),
+               std::back_inserter(scratch_), EarlierEvent{});
+    std::copy(scratch_.begin(), scratch_.end(), begin + bucket.cursor);
+  }
+  bucket.sorted = static_cast<std::uint32_t>(size);
+}
+
+void EventQueue::init_width() {
+  // Everything pushed so far is staged in the ladder. Aim the width at
+  // kTargetOccupancy events per bucket assuming the staged spacing is
+  // representative; the periodic self-resize corrects a bad estimate.
+  assert(!overflow_.empty());
+  Time min_time = overflow_.front().time;
+  Time max_time = min_time;
+  for (const EventKey& event : overflow_) {
+    min_time = std::min(min_time, event.time);
+    max_time = std::max(max_time, event.time);
+  }
+  const double span = max_time - min_time;
+  const double width =
+      span > 0.0
+          ? span * kTargetOccupancy / static_cast<double>(overflow_.size())
+          : 1e-3;
+  width_ = std::clamp(width, kMinBucketWidth, kMaxBucketWidth);
+  ensure_buckets();
+  overflow_min_bucket_ = bucket_of(min_time);
+  base_bucket_ = overflow_min_bucket_;
+}
+
+void EventQueue::ensure_buckets() {
+  if (!buckets_.empty()) return;
+  const std::size_t target =
+      expected_ > 0 ? expected_ / static_cast<std::size_t>(kTargetOccupancy)
+                    : std::size_t{1024};
+  const std::size_t count =
+      std::bit_ceil(std::clamp<std::size_t>(target, 64, std::size_t{1} << 17));
+  buckets_.resize(count);
+  mask_ = count - 1;
+}
+
+void EventQueue::redistribute_overflow() {
+  assert(!overflow_.empty() && "window and ladder cannot both be empty");
+  if (size_ == overflow_.size()) {
+    base_bucket_ = overflow_min_bucket_;
+  } else if (overflow_min_bucket_ < base_bucket_) {
+    // Idle-time push below the window while it still held events (see
+    // push_calendar): re-anchor everything in one pass.
+    rebuild(width_);
+    return;
+  }
+  const std::uint64_t limit = base_bucket_ + buckets_.size();
+  std::uint64_t new_min = kNoBucket;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < overflow_.size(); ++read) {
+    const EventKey event = overflow_[read];
+    const std::uint64_t b = bucket_of(event.time);
+    if (b < limit) {
+      buckets_[b & mask_].events.push_back(event);
+    } else {
+      overflow_[write++] = event;
+      new_min = std::min(new_min, b);
+    }
+  }
+  overflow_.resize(write);
+  overflow_min_bucket_ = new_min;
+}
+
+void EventQueue::maybe_resize() {
+  pops_since_check_ = 0;
+  double target = width_;
+  if (stat_sorted_buckets_ > 0) {
+    const double occupancy = static_cast<double>(stat_sorted_events_) /
+                             static_cast<double>(stat_sorted_buckets_);
+    const double scan =
+        stat_finds_ > 0 ? static_cast<double>(stat_scanned_) /
+                              static_cast<double>(stat_finds_)
+                        : 0.0;
+    if (occupancy > 4.0 * kTargetOccupancy) {
+      // Buckets far too full: jump straight to the occupancy target
+      // instead of halving repeatedly.
+      target = width_ * kTargetOccupancy / occupancy;
+    } else if (occupancy < 0.5 * kTargetOccupancy && scan > 4.0) {
+      // Buckets nearly empty and pops spend their time skipping them.
+      target = width_ * 2.0;
+    }
+  }
+  stat_sorted_events_ = 0;
+  stat_sorted_buckets_ = 0;
+  stat_scanned_ = 0;
+  stat_finds_ = 0;
+  target = std::clamp(target, kMinBucketWidth, kMaxBucketWidth);
+  if (target == width_) return;
+  ++resizes_;
+  if (probe_ != nullptr) probe_->count(obs::Counter::kKernelQueueResizes);
+  rebuild(target);
+}
+
+void EventQueue::rebuild(double new_width) {
+  // Collect every pending event, adopt the new width, then re-stage
+  // through the ladder: redistribute rebases the (now empty) window at
+  // the true minimum and pulls the in-range slice back in.
+  scratch_.clear();
+  for (Bucket& bucket : buckets_) {
+    scratch_.insert(scratch_.end(), bucket.events.begin() + bucket.cursor,
+                    bucket.events.end());
+    bucket.events.clear();
+    bucket.cursor = 0;
+    bucket.sorted = 0;
+  }
+  scratch_.insert(scratch_.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+  overflow_.swap(scratch_);
+  width_ = new_width;
+  peeked_ = false;
+  overflow_min_bucket_ = kNoBucket;
+  for (const EventKey& event : overflow_) {
+    overflow_min_bucket_ =
+        std::min(overflow_min_bucket_, bucket_of(event.time));
+  }
+  if (!overflow_.empty()) redistribute_overflow();
+}
+
+}  // namespace mstc::sim

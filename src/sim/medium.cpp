@@ -31,10 +31,18 @@ void Medium::assert_single_thread() const noexcept {
 
 void Medium::ensure_grid(double range, double t) const {
   const double slack = 2.0 * max_speed_ * std::abs(t - epoch_time_);
-  if (grid_valid_ && slack <= config_.rebuild_slack_fraction * range) return;
+  if (grid_valid_ && range <= build_range_ &&
+      slack <= config_.rebuild_slack_fraction * build_range_) {
+    return;
+  }
   positions(t, epoch_positions_);
   // Cell size covers the worst conservative radius before the next
-  // rebuild, so queries stay within the 3x3 neighborhood.
+  // rebuild, so queries stay within the 3x3 neighborhood. The grid serves
+  // any radius <= build_range_; a larger request re-ratchets the cells
+  // (callers pass per-node actual/extended ranges, which vary), and each
+  // fresh epoch resets the ratchet to the triggering range so cell size
+  // decays again when the big spenders shrink.
+  build_range_ = range;
   grid_.rebuild(epoch_positions_,
                 range * (1.0 + config_.rebuild_slack_fraction));
   epoch_time_ = t;
@@ -49,8 +57,11 @@ void Medium::receivers(NodeId sender, double range, double t,
   out.clear();
   const double range_sq = range * range;
   std::uint64_t checks = 0;
+  // range <= 0 (a sender with an empty selection and no buffer) stays on
+  // the brute scan: sizing grid cells for a degenerate radius would poison
+  // the index for every later full-range query in the epoch.
   if (config_.brute_force || traces_.empty() ||
-      traces_.size() < config_.grid_min_nodes) {
+      traces_.size() < config_.grid_min_nodes || range <= 0.0) {
     const geom::Vec2 origin = position(sender, t);
     for (NodeId node = 0; node < traces_.size(); ++node) {
       if (node == sender) continue;

@@ -120,8 +120,11 @@ class Medium {
       double range, double t) const;
 
  private:
-  /// Rebuilds the spatial index at epoch t when absent or when the
-  /// mobility slack outgrew `rebuild_slack_fraction * range`.
+  /// Rebuilds the spatial index at epoch t when absent, when the mobility
+  /// slack outgrew `rebuild_slack_fraction * build_range_`, or when the
+  /// requested range exceeds the range the cells were sized for (the
+  /// ratchet: a grid built for a small radius must never serve a much
+  /// larger one through a storm of tiny cells).
   void ensure_grid(double range, double t) const;
   /// Debug-only: pins the medium to the first thread that queries it
   /// (per-replication invariant; see the class comment).
@@ -137,6 +140,7 @@ class Medium {
   mutable graph::SpatialGrid grid_;
   mutable std::vector<geom::Vec2> epoch_positions_;  ///< SoA, at epoch_time_
   mutable double epoch_time_ = 0.0;
+  mutable double build_range_ = 0.0;  ///< radius the current cells serve
   mutable bool grid_valid_ = false;
   mutable std::vector<std::size_t> candidate_buffer_;
   mutable std::vector<geom::Vec2> scratch_positions_;  ///< links_within SoA

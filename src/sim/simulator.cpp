@@ -1,6 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -9,7 +8,7 @@
 namespace mstc::sim {
 
 void Simulator::reserve_events(std::size_t expected_events) {
-  heap_.reserve(expected_events);
+  queue_.reserve(expected_events);
   slots_.reserve(expected_events);
   free_slots_.reserve(expected_events);
 }
@@ -27,8 +26,7 @@ void Simulator::push_event(Time at, std::uint32_t key, Handler handler) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(handler));
   }
-  heap_.push_back(HeapKey{at, next_sequence_++, slot, key});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  queue_.push(EventKey{at, next_sequence_++, slot, key});
   if (probe_ != nullptr) probe_->count(obs::Counter::kSimEventsScheduled);
 }
 
@@ -82,9 +80,7 @@ void Simulator::configure_sharding(ShardPlan plan) {
 
 // mstc:hot — runs once per dispatched event
 Simulator::Handler Simulator::take_next() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const HeapKey key = heap_.back();
-  heap_.pop_back();
+  const EventKey key = queue_.pop();
   Handler handler = std::move(slots_[key.slot]);
   free_slots_.push_back(key.slot);
   now_ = key.time;
@@ -98,7 +94,7 @@ void Simulator::run_until(Time end) {
     run_until_sharded(end);
     return;
   }
-  while (!heap_.empty() && heap_.front().time <= end) {
+  while (!queue_.empty() && queue_.peek().time <= end) {
     Handler handler = take_next();
     handler();
   }
@@ -108,8 +104,8 @@ void Simulator::run_until(Time end) {
 // mstc:hot — the sharded dispatch loop; pops and deferrals reuse pre-grown
 // per-shard run lists, so the steady state stays allocation-free
 void Simulator::run_until_sharded(Time end) {
-  while (!heap_.empty() && heap_.front().time <= end) {
-    const HeapKey top = heap_.front();
+  while (!queue_.empty() && queue_.peek().time <= end) {
+    const EventKey top = queue_.peek();
     if (top.time >= next_epoch_) {
       // Epoch barrier: drain, then let the scenario re-balance ownership
       // from current positions. Batches are always empty across a remap,
@@ -128,8 +124,7 @@ void Simulator::run_until_sharded(Time end) {
       // clock and counters advance exactly as if it ran here, so serial
       // events interleaved with deferrals observe identical sequencing.
       const std::uint32_t node = top.key & ~kLocalFlag;
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      heap_.pop_back();
+      queue_.pop();
       now_ = top.time;
       current_sequence_ = top.sequence;
       ++processed_;
@@ -194,7 +189,7 @@ void Simulator::run_all() {
   // Serial-only convenience (no callers drive an open-ended sharded run;
   // sharded scenarios always know their horizon and use run_until).
   assert(plan_.shards <= 1 && "run_all is serial-only; use run_until");
-  while (!heap_.empty()) {
+  while (!queue_.empty()) {
     Handler handler = take_next();
     handler();
   }

@@ -5,8 +5,10 @@
 // reproducible. This is the ns-2 substitute described in DESIGN.md.
 //
 // Steady state makes no heap allocations: closures live in SBO Handler
-// slots (see handler.hpp) recycled through a free list, and the priority
-// queue orders lightweight (time, sequence, slot, key) keys.
+// slots (see handler.hpp) recycled through a free list, and the event
+// queue orders lightweight (time, sequence, slot, key) keys through a
+// pluggable backend (binary-heap reference or the O(1) calendar queue —
+// see event_queue.hpp; both pop the identical stream).
 // reserve_events() pre-sizes everything from scenario parameters so even
 // warmup growth is a handful of vector doublings at most.
 //
@@ -14,7 +16,7 @@
 // the node they touch — schedule_serial() for events that read or write
 // shared state (medium, RNG streams, scheduling), schedule_local() for
 // events that only mutate their own node and schedule nothing. The kernel
-// still pops every event from the single global heap in exact
+// still pops every event from the single global queue in exact
 // (time, sequence) order on the driving thread, but node-local events are
 // *deferred* into per-shard run lists instead of executing immediately;
 // they drain — shard-parallel — at the next barrier. A barrier fires
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "obs/probe.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/handler.hpp"
 
 namespace mstc::util {
@@ -41,18 +44,32 @@ class ThreadPool;
 
 namespace mstc::sim {
 
-using Time = double;
-
 class Simulator {
  public:
   using Handler = sim::Handler;
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Attaches an observability probe (nullable). The only instrumentation
-  /// is the kSimEventsScheduled counter; as everywhere, observation never
-  /// feeds back into simulation state.
-  void set_probe(const obs::Probe* probe) noexcept { probe_ = probe; }
+  /// Attaches an observability probe (nullable). Kernel instrumentation
+  /// is the kSimEventsScheduled counter plus the event queue's resize /
+  /// scan-length metrics; as everywhere, observation never feeds back
+  /// into simulation state.
+  void set_probe(const obs::Probe* probe) noexcept {
+    probe_ = probe;
+    queue_.set_probe(probe);
+  }
+
+  /// Selects the event-queue backend (heap reference or calendar) and its
+  /// sizing hints. Call before the first event is scheduled; the default
+  /// is the heap. Pop order — and therefore every result byte — is
+  /// identical across backends (see event_queue.hpp).
+  void configure_queue(const QueueConfig& config) { queue_.configure(config); }
+
+  /// The live event queue, exposed for tests and benchmarks (resize
+  /// count, current bucket width, backend).
+  [[nodiscard]] const EventQueue& event_queue() const noexcept {
+    return queue_;
+  }
 
   /// Pre-sizes the queue, the handler slots and the free list for
   /// `expected_events` simultaneously-pending events (scenario setup knows
@@ -126,7 +143,7 @@ class Simulator {
   void run_all();
 
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return heap_.size();
+    return queue_.size();
   }
   /// Number of handlers that have STARTED executing, including the one
   /// currently running. Note this is a count, not an identity: from inside
@@ -153,25 +170,8 @@ class Simulator {
  private:
   /// Key of an event keyed to no node (unkeyed serial / barrier events).
   static constexpr std::uint32_t kNoKey = 0x7fffffffu;
-  /// High bit of HeapKey::key marks node-local (deferrable) events.
+  /// High bit of EventKey::key marks node-local (deferrable) events.
   static constexpr std::uint32_t kLocalFlag = 0x80000000u;
-
-  /// Heap entry: ordering data plus the index of the Handler slot, so
-  /// sift-up/down moves 24 trivially-copyable bytes instead of closures.
-  /// `key` carries the node id plus the local flag (kNoKey for unkeyed);
-  /// it never participates in ordering.
-  struct HeapKey {
-    Time time;
-    std::uint64_t sequence;
-    std::uint32_t slot;
-    std::uint32_t key;
-  };
-  struct Later {
-    bool operator()(const HeapKey& a, const HeapKey& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;  // FIFO among simultaneous events
-    }
-  };
 
   /// A popped-but-deferred node-local event awaiting the next barrier.
   /// Its Handler stays in the slot; the slot is released after the drain.
@@ -195,7 +195,7 @@ class Simulator {
   /// one shard has work), then releases their slots.
   void flush_batches();
 
-  std::vector<HeapKey> heap_;  // min-heap via std::push_heap/pop_heap
+  EventQueue queue_;  // pluggable backend; heap by default
   std::vector<Handler> slots_;
   std::vector<std::uint32_t> free_slots_;
   const obs::Probe* probe_ = nullptr;

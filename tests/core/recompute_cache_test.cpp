@@ -174,5 +174,55 @@ TEST_F(RecomputeCacheTest, VersionedRefreshSkipsOnIdenticalPinnedInputs) {
   EXPECT_EQ(node.logical_neighbors(), (std::vector<NodeId>{1}));
 }
 
+TEST_F(RecomputeCacheTest, LowSkipRateBypassesCacheAfterWarmup) {
+  // Mobile-fleet shape: every refresh misses (the neighbor moves), so once
+  // the warmup floor is reached the bypass must disengage the cache — a
+  // subsequent byte-identical refresh recomputes instead of probing. The
+  // decision is taken at every probe past the floor, not only when the
+  // count hits it exactly, so short runs that overshoot still decide.
+  ControllerConfig config;
+  config.recompute_cache_min_skip_rate = 0.5;
+  NodeController node(0, rng_, cost_, config);
+  node.attach_probe(&probe_);
+  double t = 0.1;
+  std::uint64_t version = 1;
+  node.on_hello_receive(hello(1, {5.0, 0.0}, version, t), t);
+  node.on_hello_send(t + 0.05, {0.0, 0.0}, version);
+  for (std::uint32_t i = 0; i < kRecomputeCacheWarmup + 5; ++i) {
+    t += 1.0;
+    ++version;
+    node.on_hello_receive(
+        hello(1, {5.0 + 0.001 * (i + 1), 0.0}, version, t), t);
+    node.refresh_selection(t + 0.05);
+  }
+  ASSERT_EQ(skips(), 0u);
+  const std::uint64_t before = recomputes();
+  // Nothing changed in the store: a probing cache would skip both of
+  // these; a bypassed cache recomputes.
+  node.refresh_selection(t + 0.1);
+  node.refresh_selection(t + 0.2);
+  EXPECT_EQ(skips(), 0u);
+  EXPECT_EQ(recomputes(), before + 2);
+}
+
+TEST_F(RecomputeCacheTest, HighSkipRateKeepsCacheEngagedPastWarmup) {
+  // Static-fleet shape: everything after the first refresh skips, so the
+  // cumulative skip rate stays far above any sane floor and the cache
+  // keeps probing (and skipping) long past the warmup window.
+  ControllerConfig config;
+  config.recompute_cache_min_skip_rate = 0.02;
+  NodeController node(0, rng_, cost_, config);
+  node.attach_probe(&probe_);
+  node.on_hello_receive(hello(1, {5.0, 0.0}, 1, 0.1), 0.1);
+  node.on_hello_send(0.2, {0.0, 0.0}, 1);
+  ASSERT_EQ(recomputes(), 1u);
+  const std::uint32_t refreshes = kRecomputeCacheWarmup + 10;
+  for (std::uint32_t i = 0; i < refreshes; ++i) {
+    node.refresh_selection(0.3 + 0.01 * i);
+  }
+  EXPECT_EQ(recomputes(), 1u);
+  EXPECT_EQ(skips(), refreshes);
+}
+
 }  // namespace
 }  // namespace mstc::core

@@ -360,6 +360,49 @@ TEST(Determinism, ShardedKernelMatchesSerialByteForByte) {
   }
 }
 
+TEST(Determinism, CalendarQueueMatchesHeapByteForByte) {
+  // The calendar event queue (see sim/event_queue.hpp) orders events by
+  // the same strict (time, sequence) total order the heap reference does,
+  // so every backend/shard combination must produce byte-identical stats.
+  // Divergence means the calendar popped out of order somewhere — a
+  // bucket-boundary, overflow-ladder or resize bug.
+  ScenarioConfig waypoint;
+  waypoint.protocol = "RNG";
+  waypoint.average_speed = 30.0;
+  waypoint.duration = 6.0;
+  waypoint.warmup = 1.5;
+  waypoint.seed = 975318642;
+
+  ScenarioConfig still = waypoint;
+  still.mobility_model = "static";
+  still.protocol = "MST";
+  still.mode = core::ConsistencyMode::kWeak;
+
+  for (const auto& base : {waypoint, still}) {
+    ScenarioConfig heap = base;
+    heap.queue = "heap";
+    const auto reference = bit_snapshot(serial_reference({heap}, kRepeats));
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ScenarioConfig calendar = base;
+      calendar.queue = "calendar";
+      calendar.shards = shards;
+      ASSERT_EQ(bit_snapshot(serial_reference({calendar}, kRepeats)),
+                reference)
+          << base.mobility_model << " fleet diverged at " << shards
+          << " shards on the calendar queue";
+    }
+
+    // Escape hatch: MSTC_EVENT_QUEUE=heap overrides the config default.
+    ASSERT_EQ(setenv("MSTC_EVENT_QUEUE", "heap", 1), 0);
+    const ScenarioConfig hatched = apply_env_overrides(base);
+    EXPECT_EQ(hatched.queue, "heap");
+    const auto via_env = bit_snapshot(serial_reference({hatched}, kRepeats));
+    ASSERT_EQ(unsetenv("MSTC_EVENT_QUEUE"), 0);
+    ASSERT_EQ(via_env, reference);
+  }
+}
+
 TEST(Determinism, ShardedReplicationsShareThePoolWithSweeps) {
   // Shards and replications share one ThreadPool: a sweep task running a
   // sharded replication re-enters the pool at every barrier drain

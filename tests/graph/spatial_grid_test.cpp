@@ -146,6 +146,30 @@ TEST(SpatialGrid, RebuildMatchesFreshConstruction) {
   EXPECT_EQ(out, (std::vector<std::size_t>{0}));
 }
 
+TEST(SpatialGrid, DegenerateCellSizeIsCappedAtFleetScale) {
+  // A cell size far below the point spacing (or the <= 0 fallback of 1.0
+  // over a kilometers-wide span) must not materialize a table with
+  // billions of cells: rebuild caps the cell count at O(n) by widening the
+  // cells, and queries stay exact. Without the cap the first rebuild here
+  // would try to allocate ~10^15 counters and the second would leave
+  // every wide query scanning millions of slots.
+  util::Xoshiro256 rng(77);
+  std::vector<Vec2> points;
+  for (std::size_t i = 0; i < 300; ++i) {
+    points.push_back({rng.uniform(0.0, 1e6), rng.uniform(0.0, 1e6)});
+  }
+  std::vector<std::size_t> out;
+  for (const double cell : {1e-9, 1.0, 0.0}) {
+    const SpatialGrid grid(points, cell);
+    for (int q = 0; q < 5; ++q) {
+      const Vec2 center{rng.uniform(0.0, 1e6), rng.uniform(0.0, 1e6)};
+      const double radius = rng.uniform(1e4, 5e5);
+      grid.query(center, radius, out);
+      EXPECT_EQ(out, brute_force(points, center, radius));
+    }
+  }
+}
+
 TEST(SpatialGrid, NegativeCoordinatesSupported) {
   const std::vector<Vec2> points = {{-100.0, -100.0}, {100.0, 100.0}};
   const SpatialGrid grid(points, 50.0);

@@ -266,6 +266,56 @@ TEST(MediumGrid, GridExaminesFarFewerCandidatesOnDenseFleets) {
             brute_obs.counters.total(obs::Counter::kMediumCandidatesAccepted));
 }
 
+TEST(MediumGrid, ZeroRangeSenderNeverTouchesTheIndex) {
+  // A sender whose selection is empty (actual range 0, no buffer) queries
+  // with range <= 0. Sizing grid cells for that radius once poisoned the
+  // epoch: the 1.0-unit fallback cells made every later full-range query
+  // walk hundreds of thousands of cells. The degenerate radius must stay
+  // on the brute scan and leave the index alone.
+  util::Xoshiro256 rng(13);
+  const auto traces = random_fleet(rng, 200, 10.0, 800.0, 5.0);
+  obs::RunObservation observation;
+  const obs::Probe probe(&observation);
+  Medium medium(traces, {.grid_min_nodes = 0});
+  medium.set_probe(&probe);
+  std::vector<NodeId> out;
+  medium.receivers(0, 0.0, 0.0, out);
+  EXPECT_EQ(observation.counters.total(obs::Counter::kMediumGridRebuilds), 0u);
+  // The full-range query that follows builds cells for ITS radius.
+  medium.receivers(1, 150.0, 0.0, out);
+  EXPECT_EQ(observation.counters.total(obs::Counter::kMediumGridRebuilds), 1u);
+  // Interleaved degenerate queries neither rebuild nor diverge.
+  medium.receivers(2, 0.0, 0.1, out);
+  EXPECT_EQ(observation.counters.total(obs::Counter::kMediumGridRebuilds), 1u);
+  const Medium brute(traces, {.brute_force = true});
+  expect_equal_queries(medium, brute, 0.0, 0.2);
+  expect_equal_queries(medium, brute, 150.0, 0.2);
+}
+
+TEST(MediumGrid, LargerRadiusRatchetsTheIndexInsteadOfScanningTinyCells) {
+  // Per-node actual/extended ranges vary, so a grid built for a small
+  // radius can face a much larger one inside the same epoch. The larger
+  // request must rebuild (cells sized for it), smaller ones must keep
+  // riding the existing build, and every answer must match brute force.
+  util::Xoshiro256 rng(14);
+  const auto traces = random_fleet(rng, 200, 10.0, 800.0, 0.0);
+  obs::RunObservation observation;
+  const obs::Probe probe(&observation);
+  Medium medium(traces, {.grid_min_nodes = 0});
+  medium.set_probe(&probe);
+  std::vector<NodeId> out;
+  medium.receivers(0, 30.0, 0.0, out);
+  EXPECT_EQ(observation.counters.total(obs::Counter::kMediumGridRebuilds), 1u);
+  medium.receivers(1, 200.0, 0.0, out);  // outgrows the 30-unit cells
+  EXPECT_EQ(observation.counters.total(obs::Counter::kMediumGridRebuilds), 2u);
+  medium.receivers(2, 80.0, 0.0, out);  // served by the 200-unit build
+  EXPECT_EQ(observation.counters.total(obs::Counter::kMediumGridRebuilds), 2u);
+  const Medium brute(traces, {.brute_force = true});
+  for (const double r : {30.0, 80.0, 200.0}) {
+    expect_equal_queries(medium, brute, r, 0.0);
+  }
+}
+
 TEST(MediumGrid, SingleNodeAndEmptyRangeEdgeCases) {
   std::vector<Trace> traces;
   traces.push_back(Trace({Leg{0.0, {5.0, 5.0}, {1.0, 0.0}}}, 10.0));

@@ -24,6 +24,13 @@ separating what must match exactly from what only a machine can change:
                           toolchain but shifts across stdlib versions; a
                           fresh value may not exceed
                           baseline + max(0.05, 25% of baseline).
+  scaling slope           bench_parallel's serial (calendar-queue) arm
+                          must keep large-fleet events/s at a healthy
+                          fraction of small-fleet events/s; both sides
+                          come from one file, so the guard runs on any
+                          machine. Speedup gates that DO need real cores
+                          announce their bypass instead of skipping
+                          silently.
 
 Also supports --self FILE: schema / internal-invariant checks on a single
 bench JSON (used by the `bench_check_baselines` ctest to keep the
@@ -266,6 +273,38 @@ PARALLEL_MIN_CORES = 4
 # Absolute speedup floor on capable machines for large fleets.
 PARALLEL_SPEEDUP_FLOOR = 2.5
 PARALLEL_SPEEDUP_FLOOR_NODES = 10000
+# Scaling-slope guard: serial (calendar-queue) events/s at the largest
+# fleet may not fall below this fraction of the small-fleet rate. The
+# heap queue's log-factor put the measured ratio near 0.24; the calendar
+# queue holds it well above this floor, so a slide back under it means
+# the O(1) scheduler stopped doing its job. Single-machine ratio, so it
+# gates on any core count.
+PARALLEL_SCALING_FLOOR = 0.40
+PARALLEL_SCALING_SMALL_NODES = 2500
+PARALLEL_SCALING_LARGE_NODES = 100000
+
+
+def parallel_scaling_guard(data: dict, path: str) -> None:
+    """events/s-vs-n slope: large-fleet serial throughput must stay a
+    healthy fraction of small-fleet throughput (flat-ish scaling is the
+    calendar queue's whole point)."""
+    by_nodes = index_rows(data.get("results", []), "nodes")
+    small = by_nodes.get(PARALLEL_SCALING_SMALL_NODES)
+    large = by_nodes.get(PARALLEL_SCALING_LARGE_NODES)
+    if small is None or large is None:
+        return  # smoke-sized file; nothing to gate
+    small_rate = small["serial"]["events_per_s"]
+    large_rate = large["serial"]["events_per_s"]
+    if small_rate <= 0.0:
+        problem(f"parallel({path}): zero small-fleet events/s")
+        return
+    ratio = large_rate / small_rate
+    check(ratio >= PARALLEL_SCALING_FLOOR,
+          f"parallel({path}): serial events/s scaling slope "
+          f"n={PARALLEL_SCALING_LARGE_NODES} / "
+          f"n={PARALLEL_SCALING_SMALL_NODES} = {ratio:.2f}, below the "
+          f"{PARALLEL_SCALING_FLOOR} floor — large-fleet scheduling "
+          "degraded")
 
 
 def compare_parallel(fresh: dict, base: dict, args) -> None:
@@ -275,20 +314,39 @@ def compare_parallel(fresh: dict, base: dict, args) -> None:
     check(bool(shared), "bench_parallel: no common row labels to compare")
     fresh_cores = fresh.get("config", {}).get("cores", 0)
     base_cores = base.get("config", {}).get("cores", 0)
+    gate_speedup = (fresh_cores >= PARALLEL_MIN_CORES
+                    and base_cores >= PARALLEL_MIN_CORES)
+    if not gate_speedup:
+        # Loud bypass, not a silent skip: a laptop-class runner should say
+        # so instead of green-lighting a parallelism regression.
+        print(f"bench_parallel: speedup gates BYPASSED — fresh machine has "
+              f"{fresh_cores} cores, baseline had {base_cores} "
+              f"(both must have >= {PARALLEL_MIN_CORES} to gate the "
+              "serial/sharded wall ratio)")
     for label in shared:
         fr, br = fresh_rows[label], base_rows[label]
         check(fr.get("results_identical") is True,
-              f"parallel[{label}]: sharded run diverged from serial "
-              "(results_identical false)")
+              f"parallel[{label}]: queue / sharded arms diverged from the "
+              "heap reference (results_identical false)")
         # Event counts are pure functions of (config, seed) — per arm.
-        # (The arms legitimately differ from each other: the sharded
-        # kernel adds one deferred-refresh event per Hello.)
-        for arm in ("serial", "sharded"):
+        # (The sharded arm legitimately differs from the serial ones: the
+        # sharded kernel adds one deferred-refresh event per Hello.)
+        for arm in ("serial_heap", "serial", "sharded"):
+            if arm not in fr or arm not in br:
+                continue  # pre-queue baseline without serial_heap
             check(fr[arm]["events"] == br[arm]["events"],
                   f"parallel[{label}].{arm}: event count changed "
                   f"{br[arm]['events']} -> {fr[arm]['events']} — "
                   "simulation behavior drifted; regenerate baselines "
                   "deliberately if intended")
+        # The queue backend reorders nothing: the calendar arm must pop
+        # the exact event stream the heap arm does.
+        if "serial_heap" in fr:
+            check(fr["serial"]["events"] == fr["serial_heap"]["events"],
+                  f"parallel[{label}]: calendar queue processed "
+                  f"{fr['serial']['events']} events vs heap's "
+                  f"{fr['serial_heap']['events']} — queue backend changed "
+                  "the schedule")
         # Barrier schedule and cross-shard traffic are deterministic too
         # (shard resolution depends on geometry, never on the machine).
         check(fr["sharded"]["kernel_barriers"] ==
@@ -301,10 +359,16 @@ def compare_parallel(fresh: dict, base: dict, args) -> None:
               f"parallel[{label}]: cross_shard_share changed "
               f"{br['sharded']['cross_shard_share']:.4f} -> "
               f"{fr['sharded']['cross_shard_share']:.4f}")
-        # Speedup is machine-bound: regression-gate it only when both
-        # machines could express parallelism at all.
-        if (fresh_cores >= PARALLEL_MIN_CORES
-                and base_cores >= PARALLEL_MIN_CORES):
+        # Calendar-vs-heap wall ratio cancels the machine (both arms run
+        # serial on the same box), so it gates on any core count.
+        if "queue_speedup" in fr and "queue_speedup" in br:
+            check_ratio(f"parallel[{label}]: queue_speedup",
+                        fr["queue_speedup"], br["queue_speedup"],
+                        args.tolerance, br["serial_heap"]["wall_s"],
+                        args.min_wall)
+        # Sharded speedup is machine-bound: regression-gate it only when
+        # both machines could express parallelism at all.
+        if gate_speedup:
             check_ratio(f"parallel[{label}]: speedup", fr["speedup"],
                         br["speedup"], args.tolerance,
                         br["serial"]["wall_s"], args.min_wall)
@@ -317,6 +381,7 @@ def compare_parallel(fresh: dict, base: dict, args) -> None:
                   f"parallel[{label}]: speedup {fr['speedup']:.2f} below "
                   f"the {PARALLEL_SPEEDUP_FLOOR}x floor on a "
                   f"{fresh_cores}-core machine")
+    parallel_scaling_guard(fresh, "fresh")
 
 
 def self_parallel(data: dict) -> None:
@@ -329,11 +394,19 @@ def self_parallel(data: dict) -> None:
         label = row.get("label", "?")
         check(row.get("results_identical") is True,
               f"parallel[{label}]: results_identical is not true")
-        for arm in ("serial", "sharded"):
+        for arm in ("serial_heap", "serial", "sharded"):
             check(arm in row, f"parallel[{label}]: missing '{arm}'")
             if arm in row:
                 check(row[arm].get("events", 0) > 0,
                       f"parallel[{label}].{arm}: zero events")
+                check(row[arm].get("threads", 0) > 0,
+                      f"parallel[{label}].{arm}: zero threads recorded")
+                check(row[arm].get("shards", 0) > 0,
+                      f"parallel[{label}].{arm}: zero shards recorded")
+        check(row.get("serial_heap", {}).get("queue") == "heap",
+              f"parallel[{label}]: serial_heap arm not on the heap queue")
+        check(row.get("serial", {}).get("queue") == "calendar",
+              f"parallel[{label}]: serial arm not on the calendar queue")
         if "sharded" in row:
             check(row["sharded"].get("kernel_barriers", 0) > 0,
                   f"parallel[{label}]: sharded arm never engaged "
@@ -342,6 +415,11 @@ def self_parallel(data: dict) -> None:
             check(row["sharded"]["events"] >= row["serial"]["events"],
                   f"parallel[{label}]: sharded arm processed fewer events "
                   "than serial (deferred refreshes missing)")
+        if "serial" in row and "serial_heap" in row:
+            check(row["serial"]["events"] == row["serial_heap"]["events"],
+                  f"parallel[{label}]: heap and calendar arms processed "
+                  "different event counts")
+    parallel_scaling_guard(data, "self")
 
 
 HANDLERS = {
