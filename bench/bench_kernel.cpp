@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <new>
 #include <sstream>
 #include <string>
@@ -136,6 +137,17 @@ std::vector<std::uint64_t> bit_snapshot(const RunStats& stats) {
           std::bit_cast<std::uint64_t>(stats.mac_collision_fraction)};
 }
 
+// Kernel cost categories surfaced as ns/event (docs/OBSERVABILITY.md).
+// They nest (medium_query inside the issuing phase, protocol_select inside
+// view_assembly), so the columns deliberately do not sum to 1e9/events_per_s.
+constexpr mstc::obs::Category kCostCategories[] = {
+    mstc::obs::Category::kMediumQuery,
+    mstc::obs::Category::kViewAssembly,
+    mstc::obs::Category::kProtocolSelect,
+    mstc::obs::Category::kDelivery,
+};
+constexpr std::size_t kCostCategoryCount = std::size(kCostCategories);
+
 struct ModeResult {
   double events_per_s = 0.0;
   double wall_s = 0.0;            // event-loop wall of the long run
@@ -144,6 +156,7 @@ struct ModeResult {
   double allocs_per_event = 0.0;  // marginal: (long - base) allocations
                                   //           / (long - base) events
   double skip_rate = 0.0;
+  double ns_per_event[kCostCategoryCount] = {};  // long run, per category
   std::vector<std::uint64_t> base_bits;  // RunStats of the base run
   std::vector<std::uint64_t> long_bits;  // RunStats of the double run
 };
@@ -154,6 +167,7 @@ struct OneRun {
   std::uint64_t allocations = 0;
   std::uint64_t recomputes = 0;
   std::uint64_t skips = 0;
+  std::uint64_t category_ns[kCostCategoryCount] = {};
   std::vector<std::uint64_t> bits;
 };
 
@@ -173,6 +187,9 @@ OneRun run_once(ScenarioConfig cfg, bool cache_on) {
       mstc::obs::Counter::kTopologyRecomputes);
   run.skips = observation.counters.total(
       mstc::obs::Counter::kTopologyRecomputeSkips);
+  for (std::size_t c = 0; c < kCostCategoryCount; ++c) {
+    run.category_ns[c] = observation.profiler.nanos(kCostCategories[c]);
+  }
   run.bits = bit_snapshot(stats);
   return run;
 }
@@ -204,6 +221,12 @@ ModeResult run_mode(const RowSpec& row, std::uint64_t seed_stream,
   mode.skip_rate = decisions > 0 ? static_cast<double>(longer.skips) /
                                        static_cast<double>(decisions)
                                  : 0.0;
+  if (longer.events > 0) {
+    for (std::size_t c = 0; c < kCostCategoryCount; ++c) {
+      mode.ns_per_event[c] = static_cast<double>(longer.category_ns[c]) /
+                             static_cast<double>(longer.events);
+    }
+  }
   mode.base_bits = base.bits;
   mode.long_bits = longer.bits;
   return mode;
@@ -228,6 +251,16 @@ RowResult run_row(const RowSpec& row, std::uint64_t seed_stream) {
   return result;
 }
 
+void print_cost_split(const ModeResult& mode) {
+  std::printf("%-26s   cost split:", "");
+  for (std::size_t c = 0; c < kCostCategoryCount; ++c) {
+    std::printf(" %s %.0f ns/ev",
+                mstc::obs::category_name(kCostCategories[c]),
+                mode.ns_per_event[c]);
+  }
+  std::printf("\n");
+}
+
 void print_row(const RowResult& r) {
   std::printf(
       "%-26s off %10.0f ev/s (%5.2f allocs/ev)  on %10.0f ev/s "
@@ -237,6 +270,7 @@ void print_row(const RowResult& r) {
       r.cache_on.skip_rate * 100.0,
       r.results_identical ? "identical" : "DIVERGED",
       r.pre_pr_events_per_s > 0.0 ? "" : "");
+  print_cost_split(r.cache_on);
   if (r.pre_pr_events_per_s > 0.0) {
     std::printf("%-26s   vs pre-PR %.0f ev/s -> %.2fx\n", "",
                 r.pre_pr_events_per_s,
@@ -250,10 +284,19 @@ void append_mode_json(std::string& json, const char* name,
   std::snprintf(buffer, sizeof(buffer),
                 "      \"%s\": {\"events_per_s\": %.1f, \"wall_s\": %.6f, "
                 "\"events\": %" PRIu64 ", \"allocs_total\": %" PRIu64
-                ", \"allocs_per_event\": %.4f, \"skip_rate\": %.4f}",
+                ", \"allocs_per_event\": %.4f, \"skip_rate\": %.4f,\n"
+                "        \"kernel_ns_per_event\": {",
                 name, mode.events_per_s, mode.wall_s, mode.events,
                 mode.allocations, mode.allocs_per_event, mode.skip_rate);
   json += buffer;
+  for (std::size_t c = 0; c < kCostCategoryCount; ++c) {
+    std::snprintf(buffer, sizeof(buffer), "%s\"%s\": %.1f",
+                  c == 0 ? "" : ", ",
+                  mstc::obs::category_name(kCostCategories[c]),
+                  mode.ns_per_event[c]);
+    json += buffer;
+  }
+  json += "}}";
 }
 
 bool write_json(const std::string& path, const std::vector<RowResult>& rows,
@@ -318,6 +361,19 @@ double ref_events_per_s(const std::string& ref_text, const char* label) {
   const std::size_t key_at = ref_text.find("\"events_per_s\": ", mode_at);
   if (key_at == std::string::npos) return 0.0;
   return std::strtod(ref_text.c_str() + key_at + 16, nullptr);
+}
+
+// Baseline JSONs are only comparable when they come from a committed
+// tree: a "-dirty" git describe means nobody can reproduce the build.
+void warn_if_dirty_version() {
+  const std::string version = mstc::obs::build_version();
+  if (version.find("-dirty") != std::string::npos) {
+    std::fprintf(stderr,
+                 "WARNING: build version '%s' is -dirty; the written JSON "
+                 "is not reproducible as a baseline. Commit first, then "
+                 "regenerate.\n",
+                 version.c_str());
+  }
 }
 
 int run_smoke() {
@@ -402,6 +458,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
+  warn_if_dirty_version();
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

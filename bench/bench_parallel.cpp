@@ -31,6 +31,7 @@
 //                                               #   byte-identity across all
 //                                               #   arms + engaged barriers;
 //                                               #   no JSON
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cmath>
@@ -122,6 +123,7 @@ struct ArmResult {
   double cross_shard_share = 0.0;
   std::uint64_t queue_resizes = 0;
   const char* queue = "heap";
+  std::size_t shards_requested = 1;  // what the arm asked for
   std::uint32_t shards = 1;    // effective (post-clamp) shard count
   std::size_t threads = 1;     // pool threads the arm can actually use
   std::vector<std::uint64_t> bits;
@@ -136,6 +138,7 @@ ArmResult run_arm(ScenarioConfig cfg, std::size_t shards,
   const RunStats stats = mstc::runner::run_scenario(cfg, &observation);
   ArmResult arm;
   arm.queue = queue;
+  arm.shards_requested = shards;
   arm.shards = mstc::runner::resolved_shard_count(cfg);
   arm.threads =
       arm.shards > 1 ? mstc::util::global_pool().thread_count() : 1;
@@ -211,11 +214,12 @@ void append_arm_json(std::string& json, const char* name,
                 "      \"%s\": {\"events_per_s\": %.1f, \"wall_s\": %.6f, "
                 "\"events\": %" PRIu64 ", \"kernel_barriers\": %" PRIu64
                 ", \"cross_shard_share\": %.4f, \"queue\": \"%s\", "
-                "\"shards\": %u, \"threads\": %zu, \"queue_resizes\": %" PRIu64
-                "}",
+                "\"shards_requested\": %zu, \"shards\": %u, \"threads\": %zu, "
+                "\"queue_resizes\": %" PRIu64 "}",
                 name, arm.events_per_s, arm.wall_s, arm.events,
                 arm.kernel_barriers, arm.cross_shard_share, arm.queue,
-                arm.shards, arm.threads, arm.queue_resizes);
+                arm.shards_requested, arm.shards, arm.threads,
+                arm.queue_resizes);
   json += buffer;
 }
 
@@ -235,6 +239,21 @@ bool write_json(const std::string& path, const std::vector<RowResult>& rows,
       "\"threads\": %zu, \"seed\": %" PRIu64 "},\n",
       kRange, kDensityNodes, kDensitySide, kDensitySide, kDuration, kWarmup,
       kShardsRequested, std::thread::hardware_concurrency(), threads, kSeed);
+  json += buffer;
+  // Requested vs effective parallelism, surfaced at top level so
+  // tools/bench_check.py can refuse to gate shard-speedup ratios on a
+  // machine whose pool could not actually express parallelism.
+  std::size_t max_effective = 1;
+  for (const RowResult& r : rows) {
+    max_effective = std::max(max_effective,
+                             static_cast<std::size_t>(r.sharded.shards));
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"parallelism\": {\"shards_requested\": %zu, "
+                "\"max_effective_shards\": %zu, \"cores\": %u, "
+                "\"threads\": %zu},\n",
+                kShardsRequested, max_effective,
+                std::thread::hardware_concurrency(), threads);
   json += buffer;
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -263,6 +282,19 @@ bool write_json(const std::string& path, const std::vector<RowResult>& rows,
   if (!file) return false;
   file << json;
   return static_cast<bool>(file);
+}
+
+// Baseline JSONs are only comparable when they come from a committed
+// tree: a "-dirty" git describe means nobody can reproduce the build.
+void warn_if_dirty_version() {
+  const std::string version = mstc::obs::build_version();
+  if (version.find("-dirty") != std::string::npos) {
+    std::fprintf(stderr,
+                 "WARNING: build version '%s' is -dirty; the written JSON "
+                 "is not reproducible as a baseline. Commit first, then "
+                 "regenerate.\n",
+                 version.c_str());
+  }
 }
 
 int run_smoke() {
@@ -328,6 +360,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
+  warn_if_dirty_version();
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -18,6 +18,16 @@ namespace {
 /// ids this makes the assembled view (and, by protocol purity, the
 /// selection) an exact function of (ids, position bits, normal_range,
 /// cost), which is what the controller's recompute cache fingerprints.
+/// Conservative squared-distance rejection threshold for the pre-filter
+/// below. fl(dx*dx + dy*dy) carries at most ~3 ulp (~7e-16) relative error
+/// and std::hypot at most a few ulps, so the 1e-12 relative margin exceeds
+/// the combined rounding error by three orders of magnitude: any pair with
+/// fl(d^2) > normal_range^2 * (1 + 1e-12) certainly has
+/// hypot(dx, dy) > normal_range, i.e. the exact predicate below would have
+/// rejected it too (proof sketch in docs/PERFORMANCE.md). Pairs inside the
+/// margin fall through to the exact check, so results are byte-identical.
+constexpr double kRejectMargin = 1.0 + 1e-12;
+
 // mstc:hot — runs once per selection refresh over ~density members
 void assemble(
     NodeId owner, std::span<const NodeId> ids,
@@ -31,8 +41,42 @@ void assemble(
     // Representative: the newest stored position (front).
     out.set_representative(i, versions[i].front().position);
   }
+  const double reject_sq = normal_range * normal_range * kRejectMargin;
   for (std::size_t i = 0; i < ids.size(); ++i) {
+    const bool single_i = versions[i].size() == 1;
     for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (single_i && versions[j].size() == 1) {
+        // Point-view fast path (latest / versioned views): one version per
+        // member means d_min == d_max, so the distance, the cost-model call
+        // and the CostKey are each computed once — bit-identical to the
+        // general loop, which would evaluate them twice on equal inputs.
+        const geom::Vec2 a = versions[i].front().position;
+        const geom::Vec2 b = versions[j].front().position;
+        // Squared-distance pre-filter: skips the libm hypot for the
+        // ~40% of neighbor-neighbor pairs that are certainly out of
+        // range (see kRejectMargin). Never applied to the owner row —
+        // owner-neighbor links exist regardless of distance.
+        if (i != 0 && geom::distance_sq(a, b) > reject_sq) continue;
+        const double d = geom::distance(a, b);
+        if (i != 0 && d > normal_range) continue;
+        const topology::CostKey key =
+            topology::CostKey::make(cost.cost(d), ids[i], ids[j]);
+        out.set_link(i, j, d, d, key, key);
+        continue;
+      }
+      // Interval views (weak consistency): pre-filter on the cheap
+      // squared distances first; only combinations that might be in
+      // range pay for the exact hypot sweep.
+      if (i != 0) {
+        double max_sq = 0.0;
+        for (const auto& a : versions[i]) {
+          for (const auto& b : versions[j]) {
+            max_sq =
+                std::max(max_sq, geom::distance_sq(a.position, b.position));
+          }
+        }
+        if (max_sq > reject_sq) continue;
+      }
       double d_min = std::numeric_limits<double>::infinity();
       double d_max = 0.0;
       for (const auto& a : versions[i]) {
@@ -89,12 +133,13 @@ void build_latest_view(const LocalViewStore& store, double normal_range,
   assert(!own.empty() && "owner must have advertised at least once");
   scratch.ids.push_back(store.owner());
   scratch.versions.push_back(own.first(1));  // newest record only
-  store.neighbors(scratch.neighbors);
-  for (NodeId neighbor : scratch.neighbors) {
-    const auto records = store.records(neighbor);
-    if (records.empty()) continue;
-    scratch.ids.push_back(neighbor);
-    scratch.versions.push_back(records.first(1));
+  // One pass over the store: entries() is already ascending by sender, the
+  // canonical neighbor order, so no per-neighbor lookup is needed.
+  for (const LocalViewStore::Entry& entry : store.entries()) {
+    if (entry.sender == store.owner() || entry.history.empty()) continue;
+    scratch.ids.push_back(entry.sender);
+    scratch.versions.push_back(
+        std::span<const topology::VersionedPosition>(entry.history.data(), 1));
   }
   assemble(store.owner(), scratch.ids, scratch.versions, normal_range, cost,
            out);
@@ -119,12 +164,18 @@ bool build_versioned_view(const LocalViewStore& store, std::uint64_t version,
   scratch.versions.clear();
   scratch.ids.push_back(store.owner());
   scratch.versions.push_back(own);
-  store.neighbors(scratch.neighbors);
-  for (NodeId neighbor : scratch.neighbors) {
-    const auto record = store.record_at(neighbor, version);
-    if (record.empty()) continue;
-    scratch.ids.push_back(neighbor);
-    scratch.versions.push_back(record);
+  // One pass over the store (ascending by sender); members are the entries
+  // that pin the requested version.
+  for (const LocalViewStore::Entry& entry : store.entries()) {
+    if (entry.sender == store.owner()) continue;
+    for (const auto& record : entry.history) {
+      if (record.version == version) {
+        scratch.ids.push_back(entry.sender);
+        scratch.versions.push_back(
+            std::span<const topology::VersionedPosition>(&record, 1));
+        break;
+      }
+    }
   }
   assemble(store.owner(), scratch.ids, scratch.versions, normal_range, cost,
            out);
@@ -153,12 +204,12 @@ void build_weak_view(const LocalViewStore& store, double normal_range,
   assert(!own.empty() && "owner must have advertised at least once");
   scratch.ids.push_back(store.owner());
   scratch.versions.push_back(own);  // full history: the interval view
-  store.neighbors(scratch.neighbors);
-  for (NodeId neighbor : scratch.neighbors) {
-    const auto records = store.records(neighbor);
-    if (records.empty()) continue;
-    scratch.ids.push_back(neighbor);
-    scratch.versions.push_back(records);
+  // One pass over the store (ascending by sender), full histories.
+  for (const LocalViewStore::Entry& entry : store.entries()) {
+    if (entry.sender == store.owner() || entry.history.empty()) continue;
+    scratch.ids.push_back(entry.sender);
+    scratch.versions.push_back(std::span<const topology::VersionedPosition>(
+        entry.history.data(), entry.history.size()));
   }
   assemble(store.owner(), scratch.ids, scratch.versions, normal_range, cost,
            out);

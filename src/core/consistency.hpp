@@ -40,7 +40,6 @@ enum class ConsistencyMode { kLatest, kViewSync, kProactive, kReactive, kWeak };
 struct ViewScratch {
   std::vector<NodeId> ids;
   std::vector<std::span<const topology::VersionedPosition>> versions;
-  std::vector<NodeId> neighbors;
 };
 
 [[nodiscard]] std::string_view to_string(ConsistencyMode mode);

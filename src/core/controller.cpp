@@ -89,6 +89,9 @@ void NodeController::on_hello_receive(const HelloRecord& hello, double now) {
 // mstc:hot — runs once per selection refresh; all view state lives in
 // member scratch (view_scratch_, cache_key_scratch_)
 void NodeController::refresh_selection(double now) {
+  const obs::ScopedTimer timer(
+      probe_ != nullptr ? probe_->profiler() : nullptr,
+      obs::Category::kViewAssembly);
   if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
   if (!store_.latest(id_)) return;  // nothing advertised yet
@@ -121,6 +124,9 @@ void NodeController::refresh_selection(double now) {
 // mstc:hot — the proactive/reactive counterpart of refresh_selection
 void NodeController::refresh_selection_versioned(double now,
                                                  std::uint64_t version) {
+  const obs::ScopedTimer timer(
+      probe_ != nullptr ? probe_->profiler() : nullptr,
+      obs::Category::kViewAssembly);
   if (probe_ != nullptr) probe_->count_node(obs::Counter::kViewSyncs, id_);
   store_.expire(now);
   // Owner lacking the pinned version keeps the prior selection (the
@@ -175,31 +181,42 @@ void NodeController::build_cache_key(std::uint64_t tag, std::uint64_t version,
     key.push_back(records.size());
     for (const auto& record : records) fold_position(record, key);
   };
-  // The builders refill this scratch themselves on a cache miss, so
-  // borrowing it here costs nothing extra.
-  store_.neighbors(view_scratch_.neighbors);
+  // One pass over the store: entries() is ascending by sender — the same
+  // order the old sorted-neighbors walk produced, so key bytes are
+  // unchanged.
+  const auto fold_neighbors =
+      [&](auto&& project) {
+        for (const core::LocalViewStore::Entry& entry : store_.entries()) {
+          if (entry.sender == id_ || entry.history.empty()) continue;
+          const auto records = project(entry);
+          if (!records.empty()) fold_member(entry.sender, records);
+        }
+      };
+  const auto full = [](const core::LocalViewStore::Entry& entry) {
+    return std::span<const topology::VersionedPosition>(entry.history.data(),
+                                                        entry.history.size());
+  };
   switch (tag) {
     case kKeyLatest:
       fold_member(id_, store_.records(id_).first(1));
-      for (NodeId neighbor : view_scratch_.neighbors) {
-        const auto records = store_.records(neighbor);
-        if (!records.empty()) fold_member(neighbor, records.first(1));
-      }
+      fold_neighbors([&](const core::LocalViewStore::Entry& entry) {
+        return full(entry).first(1);
+      });
       return;
     case kKeyWeak:
       fold_member(id_, store_.records(id_));
-      for (NodeId neighbor : view_scratch_.neighbors) {
-        const auto records = store_.records(neighbor);
-        if (!records.empty()) fold_member(neighbor, records);
-      }
+      fold_neighbors(full);
       return;
     case kKeyVersioned:
       key.push_back(version);
       fold_member(id_, store_.record_at(id_, version));
-      for (NodeId neighbor : view_scratch_.neighbors) {
-        const auto record = store_.record_at(neighbor, version);
-        if (!record.empty()) fold_member(neighbor, record);
-      }
+      fold_neighbors([&](const core::LocalViewStore::Entry& entry)
+                         -> std::span<const topology::VersionedPosition> {
+        for (const auto& record : entry.history) {
+          if (record.version == version) return {&record, 1};
+        }
+        return {};
+      });
       return;
   }
 }
@@ -213,7 +230,12 @@ void NodeController::apply_selection(const topology::ViewGraph& view,
     previous_extended = extended_range();
   }
 
-  protocol_->select(view, chosen_);
+  {
+    const obs::ScopedTimer timer(
+        probe_ != nullptr ? probe_->profiler() : nullptr,
+        obs::Category::kProtocolSelect);
+    protocol_->select(view, chosen_);
+  }
   logical_.clear();
   logical_.reserve(chosen_.size());
   actual_range_ = 0.0;

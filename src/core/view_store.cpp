@@ -6,6 +6,14 @@
 
 namespace mstc::core {
 
+namespace {
+
+bool sender_less(const LocalViewStore::Entry& entry, NodeId sender) {
+  return entry.sender < sender;
+}
+
+}  // namespace
+
 LocalViewStore::LocalViewStore(NodeId owner, std::size_t history_limit,
                                double expiry)
     : owner_(owner), history_limit_(history_limit), expiry_(expiry) {
@@ -13,9 +21,24 @@ LocalViewStore::LocalViewStore(NodeId owner, std::size_t history_limit,
   assert(expiry_ > 0.0);
 }
 
+const LocalViewStore::Entry* LocalViewStore::find(
+    NodeId sender) const noexcept {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), sender,
+                                   sender_less);
+  if (it == entries_.end() || it->sender != sender) return nullptr;
+  return &*it;
+}
+
 // mstc:hot — runs once per Hello reception
 void LocalViewStore::record(const HelloRecord& hello) {
-  auto& history = entries_[hello.sender];
+  auto slot = std::lower_bound(entries_.begin(), entries_.end(), hello.sender,
+                               sender_less);
+  if (slot == entries_.end() || slot->sender != hello.sender) {
+    slot = entries_.insert(slot, Entry{.sender = hello.sender, .history = {}});
+    // Steady state never reallocates the history: one reserve per sender.
+    slot->history.reserve(history_limit_ + 1);
+  }
+  auto& history = slot->history;
   // Insert keeping newest-first order by version (receptions can reorder
   // only marginally; handle it anyway for robustness).
   const auto insert_at = std::find_if(
@@ -44,41 +67,37 @@ void LocalViewStore::expire(double now) {
   // refresh, and in steady state nothing is stale.
   if (cutoff <= oldest_front_) return;
   double oldest = std::numeric_limits<double>::infinity();
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  std::erase_if(entries_, [&](const Entry& entry) {
     const bool stale =
-        it->first != owner_ &&
-        (it->second.empty() || it->second.front().send_time < cutoff);
-    if (stale) {
-      it = entries_.erase(it);
-    } else {
-      if (it->first != owner_) {
-        oldest = std::min(oldest, it->second.front().send_time);
-      }
-      ++it;
+        entry.sender != owner_ &&
+        (entry.history.empty() || entry.history.front().send_time < cutoff);
+    if (!stale && entry.sender != owner_) {
+      oldest = std::min(oldest, entry.history.front().send_time);
     }
-  }
+    return stale;
+  });
   oldest_front_ = oldest;
 }
 
 std::vector<topology::VersionedPosition> LocalViewStore::history(
     NodeId sender) const {
-  const auto it = entries_.find(sender);
-  return it == entries_.end() ? std::vector<topology::VersionedPosition>{}
-                              : it->second;
+  const Entry* entry = find(sender);
+  return entry == nullptr ? std::vector<topology::VersionedPosition>{}
+                          : entry->history;
 }
 
 std::span<const topology::VersionedPosition> LocalViewStore::records(
     NodeId sender) const {
-  const auto it = entries_.find(sender);
-  if (it == entries_.end()) return {};
-  return {it->second.data(), it->second.size()};
+  const Entry* entry = find(sender);
+  if (entry == nullptr) return {};
+  return {entry->history.data(), entry->history.size()};
 }
 
 std::span<const topology::VersionedPosition> LocalViewStore::record_at(
     NodeId sender, std::uint64_t version) const {
-  const auto it = entries_.find(sender);
-  if (it == entries_.end()) return {};
-  for (const auto& record : it->second) {
+  const Entry* entry = find(sender);
+  if (entry == nullptr) return {};
+  for (const auto& record : entry->history) {
     if (record.version == version) return {&record, 1};
   }
   return {};
@@ -86,16 +105,16 @@ std::span<const topology::VersionedPosition> LocalViewStore::record_at(
 
 std::optional<topology::VersionedPosition> LocalViewStore::latest(
     NodeId sender) const {
-  const auto it = entries_.find(sender);
-  if (it == entries_.end() || it->second.empty()) return std::nullopt;
-  return it->second.front();
+  const Entry* entry = find(sender);
+  if (entry == nullptr || entry->history.empty()) return std::nullopt;
+  return entry->history.front();
 }
 
 std::optional<topology::VersionedPosition> LocalViewStore::at_version(
     NodeId sender, std::uint64_t version) const {
-  const auto it = entries_.find(sender);
-  if (it == entries_.end()) return std::nullopt;
-  for (const auto& record : it->second) {
+  const Entry* entry = find(sender);
+  if (entry == nullptr) return std::nullopt;
+  for (const auto& record : entry->history) {
     if (record.version == version) return record;
   }
   return std::nullopt;
@@ -111,15 +130,13 @@ std::vector<NodeId> LocalViewStore::neighbors() const {
 void LocalViewStore::neighbors(std::vector<NodeId>& out) const {
   out.clear();
   out.reserve(entries_.size());
-  // Sorted below, so the hash map's implementation-defined order is safe.
-  // mstc-tidy: allow(unordered-iteration)
-  for (const auto& [sender, history] : entries_) {
-    if (sender != owner_ && !history.empty()) out.push_back(sender);
+  // entries_ is already ascending by sender — the canonical order that
+  // flows into ViewGraph node indices and tie-breaking downstream.
+  for (const Entry& entry : entries_) {
+    if (entry.sender != owner_ && !entry.history.empty()) {
+      out.push_back(entry.sender);
+    }
   }
-  // Canonical order: entries_ is a hash map, and neighbor order flows into
-  // ViewGraph node indices and therefore into tie-breaking everywhere
-  // downstream. Sorting keeps runs identical across standard libraries.
-  std::sort(out.begin(), out.end());
 }
 
 }  // namespace mstc::core

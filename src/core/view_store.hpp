@@ -6,12 +6,16 @@
 // [t - Delta_expire, t]. The node's own advertised positions are stored
 // under its own id, because every consistency scheme requires decisions to
 // use the *advertised* self-position, not the true current one.
+//
+// Entries live in a flat vector sorted by sender id. Neighborhoods are
+// small (~density), so a binary search beats hashing, and the selection
+// refresh — the hot consumer — walks entries() once in ascending-id order
+// instead of iterating a hash map, sorting, and re-finding each sender.
 #pragma once
 
 #include <limits>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/hello.hpp"
@@ -20,6 +24,13 @@ namespace mstc::core {
 
 class LocalViewStore {
  public:
+  /// One sender's stored history, newest first. `history` is never empty
+  /// for an entry reachable through entries().
+  struct Entry {
+    NodeId sender = 0;
+    std::vector<topology::VersionedPosition> history;
+  };
+
   /// `history_limit` >= 1; `expiry` in seconds (records from senders whose
   /// newest record is older than expiry are dropped wholesale).
   LocalViewStore(NodeId owner, std::size_t history_limit, double expiry);
@@ -36,6 +47,13 @@ class LocalViewStore {
   /// Drops every sender (except the owner) whose newest record is older
   /// than now - expiry.
   void expire(double now);
+
+  /// All stored entries (owner included), ascending by sender id — the
+  /// canonical neighbor order. Borrowed view: invalidated by
+  /// record()/expire().
+  [[nodiscard]] std::span<const Entry> entries() const noexcept {
+    return entries_;
+  }
 
   /// Newest-first version history of `sender`; empty when unknown.
   [[nodiscard]] std::vector<topology::VersionedPosition> history(
@@ -61,7 +79,7 @@ class LocalViewStore {
       NodeId sender, std::uint64_t version) const;
 
   /// Ids of known 1-hop neighbors (excludes the owner), sorted ascending so
-  /// view assembly is independent of hash-map iteration order.
+  /// view assembly is independent of storage order.
   [[nodiscard]] std::vector<NodeId> neighbors() const;
 
   /// Allocation-free sibling of neighbors(): fills `out` (cleared first)
@@ -69,18 +87,20 @@ class LocalViewStore {
   void neighbors(std::vector<NodeId>& out) const;
 
   [[nodiscard]] std::size_t neighbor_count() const noexcept {
-    return entries_.size() - (entries_.contains(owner_) ? 1 : 0);
+    return entries_.size() - (find(owner_) != nullptr ? 1 : 0);
   }
 
  private:
+  [[nodiscard]] const Entry* find(NodeId sender) const noexcept;
+
   NodeId owner_;
   std::size_t history_limit_;
   double expiry_;
-  // Newest-first per sender.
-  std::unordered_map<NodeId, std::vector<topology::VersionedPosition>> entries_;
+  // Sorted ascending by sender; histories newest-first and non-empty.
+  std::vector<Entry> entries_;
   // Lower bound on the oldest non-owner front send_time: expire() returns
   // immediately while the cutoff sits below it (nothing can be stale), so
-  // the full-map scan runs only when something might actually expire.
+  // the full scan runs only when something might actually expire.
   // Maintained as min() on record, recomputed exactly on each full scan.
   double oldest_front_ = std::numeric_limits<double>::infinity();
 };

@@ -1,9 +1,11 @@
 #include "metrics/snapshot.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 
 #include "core/effective.hpp"
+#include "geom/filter.hpp"
 #include "obs/counters.hpp"
 
 namespace mstc::metrics {
@@ -96,12 +98,29 @@ SnapshotStats measure_snapshot(std::span<const core::NodeController> controllers
         const double range = controllers[u].extended_range();
         range_total += range;
         const double range_sq = range * range;
-        for (const std::size_t v : candidates) {
-          if (v != u &&
-              geom::distance_sq(positions[u], positions[v]) <= range_sq) {
-            ++physical_total;
-          }
+        // Physical degree through the block filter: the wide kernel
+        // evaluates exactly the scalar distance_sq predicate, and the count
+        // feeds an integer total, so the result is trivially identical.
+        // u is always its own candidate (distance 0, and every candidate
+        // set is a superset of the exact acceptances), so the count
+        // includes u; subtract it to match the v != u loop.
+        const std::size_t m = candidates.size();
+        scratch.xs_.resize(m);
+        scratch.ys_.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          scratch.xs_[i] = positions[candidates[i]].x;
+          scratch.ys_[i] = positions[candidates[i]].y;
         }
+        assert(std::binary_search(candidates.begin(), candidates.end(), u));
+        const std::size_t within =
+            config.scalar_filter
+                ? geom::count_within_range_scalar(scratch.xs_.data(),
+                                                  scratch.ys_.data(), m,
+                                                  positions[u], range_sq)
+                : geom::count_within_range(scratch.xs_.data(),
+                                           scratch.ys_.data(), m, positions[u],
+                                           range_sq);
+        physical_total += within - 1;
         for (const std::size_t v : candidates) {
           if (v <= u) continue;
           ++links_examined;

@@ -49,6 +49,10 @@ struct SnapshotConfig {
   /// overhead dominates under the crossover, mirroring the medium's
   /// grid_min_nodes threshold).
   std::size_t grid_min_nodes = 150;
+  /// Escape hatch: run the physical-degree count through the portable
+  /// scalar filter loop instead of the SIMD block kernel (geom/filter.hpp).
+  /// Byte-identical either way; mirrors sim::Medium::Config::scalar_filter.
+  bool scalar_filter = false;
 };
 
 /// Reusable measurement buffers: spatial grid, candidate list, union-find
@@ -69,6 +73,8 @@ class SnapshotScratch {
 
   graph::SpatialGrid grid_;
   std::vector<std::size_t> candidates_;
+  std::vector<double> xs_;  ///< SoA candidate coordinates for the
+  std::vector<double> ys_;  ///< physical-degree block filter
   graph::UnionFind components_;
   // Reverse logical adjacency in CSR form: row v holds {u : v in L(u)},
   // ascending because rows fill in ascending-u order.

@@ -63,6 +63,14 @@ const char* ledger_field_name(LedgerField field) noexcept {
       return "kernel_cross_shard_share";
     case LedgerField::kKernelQueueResizes:
       return "kernel_queue_resizes";
+    case LedgerField::kMediumQuerySeconds:
+      return "medium_query_seconds";
+    case LedgerField::kViewAssemblySeconds:
+      return "view_assembly_seconds";
+    case LedgerField::kProtocolSelectSeconds:
+      return "protocol_select_seconds";
+    case LedgerField::kDeliverySeconds:
+      return "delivery_seconds";
     case LedgerField::kCount:
       break;
   }
@@ -102,6 +110,10 @@ void RunLedger::capture(const RunObservation& observation,
       rate(counters.total(Counter::kKernelCrossShardEvents),
            counters.total(Counter::kMediumDeliveries));
   kernel_queue_resizes = counters.total(Counter::kKernelQueueResizes);
+  medium_query_ns = prof.nanos(Category::kMediumQuery);
+  view_assembly_ns = prof.nanos(Category::kViewAssembly);
+  protocol_select_ns = prof.nanos(Category::kProtocolSelect);
+  delivery_ns = prof.nanos(Category::kDelivery);
   captured = true;
 }
 
@@ -135,6 +147,14 @@ double RunLedger::value(LedgerField field) const noexcept {
       return kernel_cross_shard_share;
     case LedgerField::kKernelQueueResizes:
       return static_cast<double>(kernel_queue_resizes);
+    case LedgerField::kMediumQuerySeconds:
+      return seconds(medium_query_ns);
+    case LedgerField::kViewAssemblySeconds:
+      return seconds(view_assembly_ns);
+    case LedgerField::kProtocolSelectSeconds:
+      return seconds(protocol_select_ns);
+    case LedgerField::kDeliverySeconds:
+      return seconds(delivery_ns);
     case LedgerField::kCount:
       break;
   }

@@ -54,6 +54,13 @@ enum class LedgerField : std::size_t {
   kKernelBarriers,     ///< sharded-kernel batch drains (0 when serial)
   kKernelCrossShardShare,  ///< cross-shard fraction of node-local events
   kKernelQueueResizes,  ///< calendar-queue rebuilds (0 under the heap)
+  // Per-event cost split (docs/PERFORMANCE.md Amdahl accounting). These
+  // nest: medium_query inside the issuing phase, protocol_select inside
+  // view_assembly, so they do not sum to sim_seconds.
+  kMediumQuerySeconds,     ///< medium receiver/link query wall
+  kViewAssemblySeconds,    ///< selection refresh wall (expire+view+select)
+  kProtocolSelectSeconds,  ///< Protocol::select wall (subset of the above)
+  kDeliverySeconds,        ///< serial batched Hello fan-out dispatch wall
   kCount               // sentinel
 };
 
@@ -79,6 +86,10 @@ struct RunLedger {
   std::uint64_t kernel_barriers = 0;  ///< 0 under the serial kernel
   double kernel_cross_shard_share = 0.0;  ///< cross-shard / medium deliveries
   std::uint64_t kernel_queue_resizes = 0;  ///< 0 under the heap backend
+  std::uint64_t medium_query_ns = 0;     ///< kMediumQuery category wall
+  std::uint64_t view_assembly_ns = 0;    ///< kViewAssembly category wall
+  std::uint64_t protocol_select_ns = 0;  ///< kProtocolSelect category wall
+  std::uint64_t delivery_ns = 0;         ///< kDelivery category wall
   bool captured = false;  ///< capture() ran (distinguishes empty slots)
 
   /// Derives every field from a finished run's observation. Phase splits

@@ -22,6 +22,14 @@ const char* category_name(Category category) noexcept {
       return "snapshot";
     case Category::kContact:
       return "contact";
+    case Category::kMediumQuery:
+      return "medium_query";
+    case Category::kViewAssembly:
+      return "view_assembly";
+    case Category::kProtocolSelect:
+      return "protocol_select";
+    case Category::kDelivery:
+      return "delivery";
     case Category::kCount:
       break;
   }

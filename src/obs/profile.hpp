@@ -17,7 +17,14 @@
 
 namespace mstc::obs {
 
-/// Handler categories timed by the simulation runner.
+/// Handler categories timed by the simulation runner. The last four split
+/// the event loop's per-event cost for the Amdahl accounting in
+/// docs/PERFORMANCE.md: kMediumQuery nests inside the phase that issued
+/// the query (like kTraceGen inside kSetup), kProtocolSelect nests inside
+/// the refresh that kViewAssembly times, and kDelivery is attributed by
+/// the serial kernel's batched fan-out dispatch (one timed scope per
+/// broadcast; deferred sharded drains and the unbatched escape hatch stay
+/// unattributed, like every deferred handler).
 enum class Category : std::size_t {
   kSetup,      ///< scenario construction (traces, controllers, wiring)
   kTraceGen,   ///< mobility trace acquisition (subset of kSetup's span)
@@ -26,6 +33,10 @@ enum class Category : std::size_t {
   kDataFlood,  ///< data-flood start/forward/deliver/score handlers
   kSnapshot,   ///< strict-connectivity snapshot handlers
   kContact,    ///< DTN contact/beacon handlers (epidemic routing)
+  kMediumQuery,     ///< medium receiver/link queries (nested subset)
+  kViewAssembly,    ///< selection refresh: expire + view build + select
+  kProtocolSelect,  ///< Protocol::select proper (subset of kViewAssembly)
+  kDelivery,        ///< Hello delivery fan-out (serial batched dispatch)
   kCount       // sentinel
 };
 

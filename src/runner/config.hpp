@@ -77,6 +77,21 @@ struct ScenarioConfig {
   /// Determinism.TraceCacheSharedMatchesPerReplication. Env escape hatch:
   /// MSTC_NO_TRACE_CACHE=1.
   bool trace_cache = true;
+  /// Deliver Hello broadcasts through the kernel's batched fan-out (one
+  /// queue entry + one shared closure per transmission) instead of one
+  /// schedule_local per receiver. Sequence numbers are pre-assigned so the
+  /// event stream is byte-identical either way — pinned by
+  /// Determinism.BatchedDeliveryMatchesUnbatched (serial and sharded);
+  /// the per-receiver loop is kept as the differential baseline. Env
+  /// escape hatch: MSTC_NO_BATCH_DELIVERY=1.
+  bool batch_delivery = true;
+  /// Serve the medium/snapshot candidate re-check with the portable
+  /// scalar loop instead of the SIMD block filter (see geom/filter.hpp).
+  /// The wide kernel evaluates the identical predicate with
+  /// IEEE-754-identical arithmetic, so results are byte-identical —
+  /// pinned by Determinism.ScalarFilterMatchesWide. Env escape hatch:
+  /// MSTC_FILTER_SCALAR=1.
+  bool scalar_filter = false;
   /// Intra-replication parallelism: shard the event kernel spatially and
   /// run shards concurrently within this one replication. 1 (default) is
   /// the serial kernel, exactly; >= 2 requests that many x-axis strips

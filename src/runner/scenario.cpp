@@ -120,7 +120,8 @@ std::uint32_t effective_shards(const ScenarioConfig& cfg,
 /// Resolves the event-queue backend and its bucket-width hint. The
 /// MSTC_EVENT_QUEUE escape hatch wins over cfg.queue; unknown names are a
 /// configuration error.
-sim::QueueConfig resolve_queue(const ScenarioConfig& cfg) {
+sim::QueueConfig resolve_queue(const ScenarioConfig& cfg,
+                               bool batch_delivery) {
   const std::string name = util::env_or("MSTC_EVENT_QUEUE", cfg.queue);
   const std::optional<sim::QueueBackend> backend =
       sim::parse_queue_backend(name);
@@ -131,11 +132,14 @@ sim::QueueConfig resolve_queue(const ScenarioConfig& cfg) {
   queue.backend = *backend;
   if (queue.backend == sim::QueueBackend::kCalendar) {
     // Bucket-width hint from the scenario's timing shape: the event stream
-    // is dominated by the Hello fan-out — per interval each node sends
-    // once and receives ~degree deliveries, so the mean spacing is
-    // hello / (n * (1 + degree)). Width targets kTargetOccupancy events
-    // per bucket; the queue's occupancy self-resize corrects any drift
-    // (floods, MAC retries, expiry sweeps).
+    // is dominated by the Hello fan-out. Batched delivery pushes one
+    // fan-out entry per broadcast (one send + one fan-out per node per
+    // interval); the unbatched hatch pushes ~degree per-receiver
+    // deliveries instead, so the mean spacing is hello / (n * (1 +
+    // degree)). Width targets kTargetOccupancy events per bucket; the
+    // queue's occupancy self-resize corrects any drift (floods, MAC
+    // retries, expiry sweeps). The hint shapes wall clock only — event
+    // order is identical whatever the width.
     const double area = cfg.area.width * cfg.area.height;
     const double fleet = static_cast<double>(cfg.node_count);
     const double degree = std::min(
@@ -143,7 +147,8 @@ sim::QueueConfig resolve_queue(const ScenarioConfig& cfg) {
         area > 0.0 ? std::numbers::pi * cfg.normal_range * cfg.normal_range *
                          fleet / area
                    : 0.0);
-    const double per_interval = fleet * (1.0 + degree);
+    const double per_interval =
+        batch_delivery ? fleet * 2.0 : fleet * (1.0 + degree);
     if (per_interval > 0.0 && cfg.hello_interval > 0.0) {
       const double cap = std::max(1e-6, cfg.hello_interval / 16.0);
       queue.bucket_width = std::clamp(
@@ -162,9 +167,12 @@ class Scenario {
         observation_(observation),
         probe_(observation),
         traces_(acquire_traces(cfg, probe_)),
-        medium_(*traces_, {.propagation_delay = kPropagationDelay,
-                           .brute_force = cfg.medium_brute_force,
-                           .grid_min_nodes = cfg.medium_grid_min_nodes}),
+        medium_(*traces_,
+                {.propagation_delay = kPropagationDelay,
+                 .brute_force = cfg.medium_brute_force,
+                 .grid_min_nodes = cfg.medium_grid_min_nodes,
+                 .scalar_filter = cfg.scalar_filter ||
+                                  util::env_flag("MSTC_FILTER_SCALAR")}),
         suite_(topology::make_protocol(cfg.protocol)),
         beacon_rng_(util::derive_seed(cfg.seed, 0xBEAC0)),
         traffic_rng_(util::derive_seed(cfg.seed, 0x7AFF1C)),
@@ -196,8 +204,11 @@ class Scenario {
     for (auto& node : nodes_) node.attach_probe(&probe_);
     medium_.set_probe(&probe_);
     simulator_.set_probe(&probe_);
+    batch_delivery_ =
+        cfg.batch_delivery && !util::env_flag("MSTC_NO_BATCH_DELIVERY");
+    scalar_filter_ = cfg.scalar_filter || util::env_flag("MSTC_FILTER_SCALAR");
     configure_sharding(cfg, observation);
-    simulator_.configure_queue(resolve_queue(cfg));
+    simulator_.configure_queue(resolve_queue(cfg, batch_delivery_));
     // Size the event kernel for the whole run up front: per-node beacon
     // chains plus the pre-scheduled flood and snapshot events (x2 covers
     // per-hop forwarding churn and MAC retries).
@@ -425,6 +436,10 @@ class Scenario {
       return;
     }
     medium_.receivers(u, cfg_.normal_range, now, receiver_buffer_);
+    // Each forward draws its own randomized backoff, so the per-receiver
+    // delivery times genuinely differ — a shared fan-out event cannot
+    // carry per-receiver timestamps.
+    // mstc-lint: allow(per-receiver-schedule)
     for (NodeId v : receiver_buffer_) {
       const double delay = kPropagationDelay +
                            backoff_rng_.uniform(kMinForwardBackoff,
@@ -468,6 +483,31 @@ class Scenario {
     // reading now() at execution (schedule_in computes the same sum), and
     // lets the handler run off the driving thread.
     const double at = now + kPropagationDelay;
+    if (batch_delivery_) {
+      // Loss injection is applied here, in ascending receiver order, so
+      // the loss_rng_ stream is drawn exactly as the per-receiver loop
+      // below draws it; the surviving set then schedules as ONE fan-out
+      // event whose pre-assigned sequence span reproduces the per-receiver
+      // loop's (time, sequence) keys byte-for-byte.
+      fanout_receivers_.clear();
+      for (NodeId v : receiver_buffer_) {
+        if (drop_by_loss_injection(v)) continue;
+        fanout_receivers_.push_back(key_of(v));
+      }
+      auto deliver = [this, hello, at](std::uint32_t v) {
+        nodes_[v].on_hello_receive(hello, at);
+      };
+      // The hot-path closure: ONE per Hello (not per receiver). It is
+      // shared across deliveries — and across shards under the parallel
+      // drain — so it must not mutate its captures; on_hello_receive
+      // touches only the receiving node's state.
+      static_assert(sim::FanoutHandler::fits_inline<decltype(deliver)>);
+      simulator_.schedule_fanout(at, fanout_receivers_, std::move(deliver));
+      return;
+    }
+    // Unbatched escape hatch (MSTC_NO_BATCH_DELIVERY): the differential
+    // baseline the batched fan-out is byte-compared against.
+    // mstc-lint: allow(per-receiver-schedule)
     for (NodeId v : receiver_buffer_) {
       if (drop_by_loss_injection(v)) continue;
       auto deliver = [this, v, hello, at] {
@@ -578,6 +618,9 @@ class Scenario {
     for (NodeId v : receiver_buffer_) {
       if (!flood.received[v]) forward_targets_.push_back(v);
     }
+    // Flood forwards carry per-receiver randomized backoffs (distinct
+    // delivery times), so they cannot share one fan-out event.
+    // mstc-lint: allow(per-receiver-schedule)
     for (NodeId v : forward_targets_) {
       const double delay = kPropagationDelay +
                            backoff_rng_.uniform(kMinForwardBackoff,
@@ -623,7 +666,8 @@ class Scenario {
     const auto stats = metrics::measure_snapshot(
         nodes_, position_buffer_, snapshot_scratch_,
         {.brute_force = cfg_.snapshot_brute_force,
-         .grid_min_nodes = cfg_.medium_grid_min_nodes},
+         .grid_min_nodes = cfg_.medium_grid_min_nodes,
+         .scalar_filter = scalar_filter_},
         &probe_);
     strict_.add(stats.strict_connectivity);
     range_.add(stats.mean_range);
@@ -653,6 +697,12 @@ class Scenario {
   // Sharded-kernel state; empty when the replication resolved to serial.
   std::uint32_t shards_ = 1;
   bool sharded_ = false;
+  /// Batched Hello fan-out (config flag + MSTC_NO_BATCH_DELIVERY hatch),
+  /// resolved once per replication.
+  bool batch_delivery_ = true;
+  /// Scalar candidate-filter hatch (config flag + MSTC_FILTER_SCALAR),
+  /// resolved once and fed to the medium and the snapshot path.
+  bool scalar_filter_ = false;
   std::vector<topology::ProtocolSuite> shard_suites_;
   std::vector<obs::RunObservation> shard_obs_;  // merged into probe_'s after
   std::vector<obs::Probe> shard_probes_;
@@ -671,6 +721,7 @@ class Scenario {
   std::vector<Flood> floods_;
   std::vector<std::vector<char>> flood_pool_;  // retired `received` vectors
   std::vector<NodeId> receiver_buffer_;
+  std::vector<std::uint32_t> fanout_receivers_;  // narrowed Hello fan-out set
   std::vector<NodeId> forward_targets_;
   std::vector<geom::Vec2> position_buffer_;
   metrics::SnapshotScratch snapshot_scratch_;

@@ -3,27 +3,40 @@
 //
 // Scheduling an event used to heap-allocate a std::function closure; at
 // n x d deliveries per simulated second that allocation dominated the
-// event loop. Handler stores the callable inline in kInlineSize bytes of
-// embedded storage (an ops-table dispatches invoke/relocate/destroy), so
-// every closure in src/ schedules without touching the heap. Oversized or
-// over-aligned callables still work — they fall back to a single
-// heap-allocated copy behind a pointer in the same storage — but the hot
-// paths static_assert `fits_inline` at their scheduling sites so growth
-// past the buffer is a compile error, not a silent perf cliff.
+// event loop. BasicHandler stores the callable inline in kInlineSize
+// bytes of embedded storage (an ops-table dispatches
+// invoke/relocate/destroy), so every closure in src/ schedules without
+// touching the heap. Oversized or over-aligned callables still work —
+// they fall back to a single heap-allocated copy behind a pointer in the
+// same storage — but the hot paths static_assert `fits_inline` at their
+// scheduling sites so growth past the buffer is a compile error, not a
+// silent perf cliff.
 //
-// Handler is move-only (like the closures it carries) and its moved-from
-// state is empty; invoking an empty Handler is undefined (asserted).
+// Two instantiations are used by the kernel:
+//   Handler       = BasicHandler<void()>               — one event, one call.
+//   FanoutHandler = BasicHandler<void(std::uint32_t)>  — one batched
+//     broadcast: the kernel invokes the same stored callable once per
+//     receiver id, so a d-receiver Hello costs one closure instead of d.
+//
+// BasicHandler is move-only (like the closures it carries) and its
+// moved-from state is empty; invoking an empty handler is undefined
+// (asserted).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
 
 namespace mstc::sim {
 
-class Handler {
+template <typename Signature>
+class BasicHandler;
+
+template <typename... Args>
+class BasicHandler<void(Args...)> {
  public:
   /// Inline storage, sized for the largest closure scheduled anywhere in
   /// src/ — mac::Channel's backoff-retry lambda (this + sender + range +
@@ -40,14 +53,14 @@ class Handler {
       sizeof(F) <= kInlineSize && alignof(F) <= alignof(std::max_align_t) &&
       std::is_nothrow_move_constructible_v<F>;
 
-  Handler() noexcept = default;
+  BasicHandler() noexcept = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, Handler> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+                !std::is_same_v<std::decay_t<F>, BasicHandler> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, Args...>>>
   // NOLINTNEXTLINE(google-explicit-constructor): converts like std::function
-  Handler(F&& callable) {  // NOLINT(bugprone-forwarding-reference-overload)
+  BasicHandler(F&& callable) {  // NOLINT(bugprone-forwarding-reference-overload)
     using Fn = std::decay_t<F>;
     if constexpr (fits_inline<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(callable));
@@ -60,12 +73,12 @@ class Handler {
     }
   }
 
-  Handler(Handler&& other) noexcept : ops_(other.ops_) {
+  BasicHandler(BasicHandler&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
     other.ops_ = nullptr;
   }
 
-  Handler& operator=(Handler&& other) noexcept {
+  BasicHandler& operator=(BasicHandler&& other) noexcept {
     if (this != &other) {
       if (ops_ != nullptr) ops_->destroy(storage_);
       ops_ = other.ops_;
@@ -75,10 +88,10 @@ class Handler {
     return *this;
   }
 
-  Handler(const Handler&) = delete;
-  Handler& operator=(const Handler&) = delete;
+  BasicHandler(const BasicHandler&) = delete;
+  BasicHandler& operator=(const BasicHandler&) = delete;
 
-  ~Handler() {
+  ~BasicHandler() {
     if (ops_ != nullptr) ops_->destroy(storage_);
   }
 
@@ -86,23 +99,25 @@ class Handler {
     return ops_ != nullptr;
   }
 
-  void operator()() {
-    assert(ops_ != nullptr && "invoking an empty Handler");
-    ops_->invoke(storage_);
+  void operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty handler");
+    ops_->invoke(storage_, args...);
   }
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    void (*invoke)(void* storage, Args... args);
     /// Move-constructs into `dst` and destroys the source — the two are
-    /// fused so moved-from Handlers hold nothing.
+    /// fused so moved-from handlers hold nothing.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* storage) noexcept;
   };
 
   template <typename Fn>
   static constexpr Ops kInlineOps{
-      [](void* storage) { (*static_cast<Fn*>(storage))(); },
+      [](void* storage, Args... args) {
+        (*static_cast<Fn*>(storage))(args...);
+      },
       [](void* dst, void* src) noexcept {
         Fn* from = static_cast<Fn*>(src);
         ::new (dst) Fn(std::move(*from));
@@ -112,7 +127,9 @@ class Handler {
 
   template <typename Fn>
   static constexpr Ops kHeapOps{
-      [](void* storage) { (**static_cast<Fn**>(storage))(); },
+      [](void* storage, Args... args) {
+        (**static_cast<Fn**>(storage))(args...);
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) Fn*(*static_cast<Fn**>(src));
       },
@@ -121,5 +138,12 @@ class Handler {
   const Ops* ops_ = nullptr;
   alignas(std::max_align_t) unsigned char storage_[kInlineSize];
 };
+
+/// One event, one call — the carrier behind every schedule_* entry point.
+using Handler = BasicHandler<void()>;
+
+/// One batched broadcast: invoked once per receiver id by the kernel's
+/// fan-out dispatch (see Simulator::schedule_fanout).
+using FanoutHandler = BasicHandler<void(std::uint32_t)>;
 
 }  // namespace mstc::sim

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "geom/filter.hpp"
+
 namespace mstc::sim {
 
 Medium::Medium(std::span<const mobility::Trace> traces, Config config)
@@ -54,6 +56,9 @@ void Medium::ensure_grid(double range, double t) const {
 void Medium::receivers(NodeId sender, double range, double t,
                        std::vector<NodeId>& out) const {
   assert_single_thread();
+  const obs::ScopedTimer timer(
+      probe_ != nullptr ? probe_->profiler() : nullptr,
+      obs::Category::kMediumQuery);
   out.clear();
   const double range_sq = range * range;
   std::uint64_t checks = 0;
@@ -75,22 +80,38 @@ void Medium::receivers(NodeId sender, double range, double t,
     // Conservative filter: every node moved at most v_max * |t - t0| since
     // the epoch, so any node within `range` of the sender at t lies within
     // range + 2 * v_max * |t - t0| of the sender's position in the epoch
-    // snapshot. The exact check below then reproduces the brute-force
-    // predicate bit-for-bit; SpatialGrid::query's ascending-index order
-    // keeps the output order identical too.
+    // snapshot. The exact re-check (the block filter below) reproduces the
+    // brute-force predicate bit-for-bit; SpatialGrid::query's
+    // ascending-index order keeps the output order identical too.
     const bool at_epoch = t == epoch_time_;
     const geom::Vec2 origin =
         at_epoch ? epoch_positions_[sender] : position(sender, t);
     const double slack = 2.0 * max_speed_ * std::abs(t - epoch_time_);
     grid_.query(origin, range + slack, candidate_buffer_);
-    for (const std::size_t node : candidate_buffer_) {
-      if (node == sender) continue;
-      ++checks;
-      const geom::Vec2 p =
-          at_epoch ? epoch_positions_[node] : position(node, t);
-      if (geom::distance_sq(origin, p) <= range_sq) {
-        out.push_back(node);
-      }
+    const std::size_t m = candidate_buffer_.size();
+    filter_xs_.resize(m);
+    filter_ys_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const geom::Vec2 p = at_epoch ? epoch_positions_[candidate_buffer_[i]]
+                                    : position(candidate_buffer_[i], t);
+      filter_xs_[i] = p.x;
+      filter_ys_[i] = p.y;
+    }
+    // The sender is always its own candidate (distance 0, and the grid
+    // path only runs for range > 0), and the counter's contract is "every
+    // non-sender candidate examined, accepted or not".
+    assert(std::binary_search(candidate_buffer_.begin(),
+                              candidate_buffer_.end(),
+                              static_cast<std::size_t>(sender)));
+    checks = m > 0 ? m - 1 : 0;
+    if (config_.scalar_filter) {
+      geom::filter_within_range_scalar(filter_xs_.data(), filter_ys_.data(),
+                                       candidate_buffer_.data(), m, origin,
+                                       range_sq, sender, out);
+    } else {
+      geom::filter_within_range(filter_xs_.data(), filter_ys_.data(),
+                                candidate_buffer_.data(), m, origin, range_sq,
+                                sender, out);
     }
   }
   if (probe_ != nullptr) {
@@ -111,6 +132,9 @@ void Medium::positions(double t, std::vector<geom::Vec2>& out) const {
 void Medium::links_within(double range, double t,
                           std::vector<std::pair<NodeId, NodeId>>& out) const {
   assert_single_thread();
+  const obs::ScopedTimer timer(
+      probe_ != nullptr ? probe_->profiler() : nullptr,
+      obs::Category::kMediumQuery);
   out.clear();
   const double range_sq = range * range;
   std::uint64_t checks = 0;
@@ -144,17 +168,38 @@ void Medium::links_within(double range, double t,
     const double query_radius = range + slack;
     // Single sweep: node u scans its grid neighborhood and emits u < v
     // pairs. Ascending u plus the grid's ascending candidate order yields
-    // exactly the brute-force double loop's lexicographic emission order.
+    // exactly the brute-force double loop's lexicographic emission order;
+    // the block filter preserves input order, so feeding it the v > u
+    // suffix of each candidate list keeps the emission order identical.
     for (NodeId u = 0; u < scratch_positions_.size(); ++u) {
       grid_.query(scratch_positions_[u], query_radius, candidate_buffer_);
-      for (const std::size_t v : candidate_buffer_) {
-        if (v <= u) continue;
-        ++checks;
-        if (geom::distance_sq(scratch_positions_[u], scratch_positions_[v]) <=
-            range_sq) {
-          out.emplace_back(u, v);
-        }
+      const auto begin =
+          std::upper_bound(candidate_buffer_.begin(), candidate_buffer_.end(),
+                           static_cast<std::size_t>(u));
+      const auto offset =
+          static_cast<std::size_t>(begin - candidate_buffer_.begin());
+      const std::size_t m = candidate_buffer_.size() - offset;
+      filter_xs_.resize(m);
+      filter_ys_.resize(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const geom::Vec2 p = scratch_positions_[candidate_buffer_[offset + i]];
+        filter_xs_[i] = p.x;
+        filter_ys_[i] = p.y;
       }
+      checks += m;
+      accepted_buffer_.clear();
+      if (config_.scalar_filter) {
+        geom::filter_within_range_scalar(
+            filter_xs_.data(), filter_ys_.data(),
+            candidate_buffer_.data() + offset, m, scratch_positions_[u],
+            range_sq, geom::kFilterNoSkip, accepted_buffer_);
+      } else {
+        geom::filter_within_range(filter_xs_.data(), filter_ys_.data(),
+                                  candidate_buffer_.data() + offset, m,
+                                  scratch_positions_[u], range_sq,
+                                  geom::kFilterNoSkip, accepted_buffer_);
+      }
+      for (const std::size_t v : accepted_buffer_) out.emplace_back(u, v);
     }
   }
   if (probe_ != nullptr) {

@@ -55,6 +55,59 @@ void Simulator::schedule_local(Time at, std::uint32_t node, Handler handler) {
   push_event(at, kNoKey, std::move(handler));
 }
 
+// mstc:hot — runs once per Hello broadcast; one queue push stands in for
+// ~degree per-receiver pushes, and slot reuse keeps it allocation-free in
+// steady state (the receiver vector keeps its capacity across recycles)
+void Simulator::schedule_fanout(Time at,
+                                std::span<const std::uint32_t> receivers,
+                                FanoutHandler fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  assert(!in_flush_ && "deferred node-local handlers must not schedule");
+  // The equivalent per-receiver loop pushes nothing for an empty set, so
+  // neither does the batched path (no event, no sequence numbers).
+  if (receivers.empty()) return;
+#ifndef NDEBUG
+  for (std::size_t i = 0; i + 1 < receivers.size(); ++i) {
+    assert(receivers[i] < receivers[i + 1] &&
+           "fan-out receivers must be unique and ascending");
+  }
+#endif
+  if (plan_.shards > 1) {
+    // Preserve schedule_local's cross-shard accounting: each delivery
+    // whose owner differs from the scheduling serial event's counts once.
+    if (probe_ != nullptr && current_key_ != kNoKey) {
+      std::uint64_t crossing = 0;
+      for (const std::uint32_t node : receivers) {
+        assert(node < owner_.size());
+        crossing += owner_[node] != owner_[current_key_] ? 1u : 0u;
+      }
+      if (crossing != 0) {
+        probe_->count(obs::Counter::kKernelCrossShardEvents, crossing);
+      }
+    }
+  }
+  std::uint32_t slot;
+  if (!free_fanout_slots_.empty()) {
+    slot = free_fanout_slots_.back();
+    free_fanout_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(fanout_slots_.size());
+    fanout_slots_.emplace_back();
+  }
+  FanoutSlot& entry = fanout_slots_[slot];
+  entry.receivers.assign(receivers.begin(), receivers.end());
+  entry.fn = std::move(fn);
+  entry.remaining = 0;
+  // Reserve the exact consecutive sequence span the unbatched loop would
+  // have drawn; dispatch replays it one delivery at a time.
+  const std::uint64_t first = next_sequence_;
+  next_sequence_ += receivers.size();
+  queue_.push(EventKey{at, first, slot, kFanoutKey});
+  if (probe_ != nullptr) {
+    probe_->count(obs::Counter::kSimEventsScheduled, receivers.size());
+  }
+}
+
 void Simulator::configure_sharding(ShardPlan plan) {
   assert(!in_flush_);
   assert(deferred_total_ == 0 && "cannot reconfigure with a batch pending");
@@ -89,12 +142,50 @@ Simulator::Handler Simulator::take_next() {
   return handler;
 }
 
+// mstc:hot — one pop per broadcast, replayed as per-receiver deliveries
+// with the pre-assigned (time, sequence) keys of the unbatched stream
+void Simulator::run_fanout_serial(const EventKey& top) {
+  const Time at = top.time;
+  const std::uint32_t slot = top.slot;
+  std::uint64_t sequence = top.sequence;
+  queue_.pop();  // invalidates `top`
+  now_ = at;
+  // One timed scope per broadcast (not per delivery), so attribution costs
+  // two clock reads per ~degree deliveries.
+  const obs::ScopedTimer timer(
+      probe_ != nullptr ? probe_->profiler() : nullptr,
+      obs::Category::kDelivery);
+  const std::size_t count = fanout_slots_[slot].receivers.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    // Re-index every round: a delivery may legally schedule, and a
+    // reentrant schedule_fanout can grow fanout_slots_.
+    FanoutSlot& entry = fanout_slots_[slot];
+    current_sequence_ = sequence++;
+    ++processed_;
+    entry.fn(entry.receivers[i]);
+  }
+  release_fanout_slot(slot);
+}
+
+void Simulator::release_fanout_slot(std::uint32_t slot) {
+  FanoutSlot& entry = fanout_slots_[slot];
+  entry.receivers.clear();
+  entry.fn = FanoutHandler{};  // drop the closure; keep vector capacity
+  free_fanout_slots_.push_back(slot);
+}
+
 void Simulator::run_until(Time end) {
   if (plan_.shards > 1) {
     run_until_sharded(end);
     return;
   }
-  while (!queue_.empty() && queue_.peek().time <= end) {
+  while (!queue_.empty()) {
+    const EventKey& top = queue_.peek();
+    if (top.time > end) break;
+    if (top.key == kFanoutKey) {
+      run_fanout_serial(top);
+      continue;
+    }
     Handler handler = take_next();
     handler();
   }
@@ -118,6 +209,10 @@ void Simulator::run_until_sharded(Time end) {
     }
     if (deferred_total_ != 0 && top.time - batch_start_ > plan_.lookahead) {
       flush_batches();
+    }
+    if (top.key == kFanoutKey) {
+      defer_fanout(top);
+      continue;
     }
     if ((top.key & kLocalFlag) != 0u) {
       // Node-local: pop without executing; runs at the next barrier. The
@@ -151,8 +246,34 @@ void Simulator::run_until_sharded(Time end) {
   now_ = end;
 }
 
+// mstc:hot — one pop per broadcast on the sharded kernel: the clock and
+// counters advance as if every delivery ran here, then each receiver is
+// deferred into its owner shard's batch
+void Simulator::defer_fanout(const EventKey& top) {
+  const Time at = top.time;
+  const std::uint32_t slot = top.slot;
+  const std::uint64_t first = top.sequence;
+  queue_.pop();  // invalidates `top`
+  FanoutSlot& entry = fanout_slots_[slot];
+  const std::uint64_t count = entry.receivers.size();
+  now_ = at;
+  current_sequence_ = first + count - 1;
+  processed_ += count;
+  if (deferred_total_ == 0) batch_start_ = at;
+  batch_end_ = at;
+  entry.remaining = static_cast<std::uint32_t>(count);
+  for (const std::uint32_t node : entry.receivers) {
+    batches_[owner_[node]].push_back(Deferred{slot, node, true});
+    ++pending_per_node_[node];
+  }
+  deferred_total_ += count;
+}
+
 // mstc:hot — barrier drain: executes deferred node-local handlers in heap
-// pop order per shard, shard-parallel when more than one shard has work
+// pop order per shard, shard-parallel when more than one shard has work.
+// Fan-out deliveries of one broadcast may span shards: the shared callable
+// is invoked concurrently for distinct nodes, which the schedule_fanout
+// contract (no mutation of captured state) makes race-free.
 void Simulator::flush_batches() {
   if (deferred_total_ == 0) return;
   if (probe_ != nullptr) {
@@ -164,21 +285,37 @@ void Simulator::flush_batches() {
   in_flush_ = true;
   if (busy <= 1 || plan_.pool == nullptr || plan_.pool->thread_count() == 1) {
     for (const auto& batch : batches_) {
-      for (const Deferred& deferred : batch) slots_[deferred.slot]();
+      for (const Deferred& deferred : batch) {
+        if (deferred.fanout) {
+          fanout_slots_[deferred.slot].fn(deferred.node);
+        } else {
+          slots_[deferred.slot]();
+        }
+      }
     }
   } else {
     util::parallel_for_chunked(
         *plan_.pool, batches_.size(), 1, [this](std::size_t shard) {
           for (const Deferred& deferred : batches_[shard]) {
-            slots_[deferred.slot]();
+            if (deferred.fanout) {
+              fanout_slots_[deferred.slot].fn(deferred.node);
+            } else {
+              slots_[deferred.slot]();
+            }
           }
         });
   }
   in_flush_ = false;
   for (auto& batch : batches_) {
     for (const Deferred& deferred : batch) {
-      free_slots_.push_back(deferred.slot);
       --pending_per_node_[deferred.node];
+      if (deferred.fanout) {
+        if (--fanout_slots_[deferred.slot].remaining == 0) {
+          release_fanout_slot(deferred.slot);
+        }
+      } else {
+        free_slots_.push_back(deferred.slot);
+      }
     }
     batch.clear();
   }
@@ -190,6 +327,11 @@ void Simulator::run_all() {
   // sharded scenarios always know their horizon and use run_until).
   assert(plan_.shards <= 1 && "run_all is serial-only; use run_until");
   while (!queue_.empty()) {
+    const EventKey& top = queue_.peek();
+    if (top.key == kFanoutKey) {
+      run_fanout_serial(top);
+      continue;
+    }
     Handler handler = take_next();
     handler();
   }

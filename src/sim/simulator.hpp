@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "obs/probe.hpp"
@@ -100,6 +101,21 @@ class Simulator {
   /// therefore commute (per-node order is preserved). With shards <= 1
   /// this is exactly schedule_at.
   void schedule_local(Time at, std::uint32_t node, Handler handler);
+
+  /// Schedules a batched broadcast fan-out: one queue entry standing in
+  /// for `receivers.size()` node-local deliveries at time `at`, all
+  /// sharing the single callable `fn` (invoked as fn(node), ascending
+  /// receiver order). The call reserves `receivers.size()` consecutive
+  /// sequence numbers up front — exactly the numbers an equivalent
+  /// per-receiver schedule_local loop would have drawn — and dispatch
+  /// replays them one delivery at a time, so now()/current_sequence()/
+  /// processed_events() observed by each delivery (and the ordering of
+  /// anything scheduled afterwards) are byte-identical to the unbatched
+  /// stream. Each delivery carries the schedule_local contract: mutate
+  /// only its node, no RNG, no shared structure, schedule nothing.
+  /// Receiver ids must be unique; an empty span schedules nothing.
+  void schedule_fanout(Time at, std::span<const std::uint32_t> receivers,
+                       FanoutHandler fn);
 
   /// Sharded-execution plan. shards <= 1 keeps the serial kernel
   /// (the default); anything larger requires a remap callback.
@@ -172,16 +188,45 @@ class Simulator {
   static constexpr std::uint32_t kNoKey = 0x7fffffffu;
   /// High bit of EventKey::key marks node-local (deferrable) events.
   static constexpr std::uint32_t kLocalFlag = 0x80000000u;
+  /// Key of a batched fan-out entry (its slot indexes fanout_slots_, not
+  /// slots_). Unambiguous: schedule_serial/schedule_local assert
+  /// node < kNoKey, so no node-keyed event ever carries this value.
+  static constexpr std::uint32_t kFanoutKey = kLocalFlag | kNoKey;
 
   /// A popped-but-deferred node-local event awaiting the next barrier.
-  /// Its Handler stays in the slot; the slot is released after the drain.
+  /// Its handler stays in the slot (slots_ for ordinary events,
+  /// fanout_slots_ when `fanout` is set); the slot is released after the
+  /// drain (fan-out slots once their last receiver has drained).
   struct Deferred {
     std::uint32_t slot;
     std::uint32_t node;
+    bool fanout = false;
+  };
+
+  /// One in-flight batched broadcast: the receiver list, the shared
+  /// per-receiver callable, and (sharded only) how many deliveries are
+  /// still deferred before the slot can be recycled.
+  struct FanoutSlot {
+    std::vector<std::uint32_t> receivers;
+    FanoutHandler fn;
+    std::uint32_t remaining = 0;
   };
 
   /// Common scheduling core behind the three schedule_* entry points.
   void push_event(Time at, std::uint32_t key, Handler handler);
+
+  /// Pops + executes a fan-out entry on the serial kernel: replays the
+  /// reserved sequence span one delivery at a time.
+  void run_fanout_serial(const EventKey& top);
+
+  /// Pops a fan-out entry on the sharded kernel: advances the clock and
+  /// counters as if every delivery ran, then defers each receiver into
+  /// its owner shard's batch.
+  void defer_fanout(const EventKey& top);
+
+  /// Returns a fan-out slot to the free list, keeping its receiver
+  /// vector's capacity.
+  void release_fanout_slot(std::uint32_t slot);
 
   /// Pops the earliest event, releases its slot (the handler is already
   /// moved out, so a reentrant schedule_at may reuse it immediately) and
@@ -198,6 +243,8 @@ class Simulator {
   EventQueue queue_;  // pluggable backend; heap by default
   std::vector<Handler> slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::vector<FanoutSlot> fanout_slots_;  // recycled; vectors keep capacity
+  std::vector<std::uint32_t> free_fanout_slots_;
   const obs::Probe* probe_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_sequence_ = 0;

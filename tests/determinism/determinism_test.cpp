@@ -426,5 +426,79 @@ TEST(Determinism, RepeatedParallelBatchesAreByteIdentical) {
   ASSERT_EQ(first, second);
 }
 
+TEST(Determinism, BatchedDeliveryMatchesUnbatchedByteForByte) {
+  // Batched broadcast fan-out (this PR) turns one Hello into ONE queue
+  // entry carrying the receiver span instead of one closure per receiver,
+  // pre-assigning the exact (time, sequence) keys the per-receiver loop
+  // would have drawn. Pure storage optimization: every (config, shard)
+  // combination must byte-match the unbatched escape hatch.
+  ScenarioConfig waypoint;
+  waypoint.protocol = "RNG";
+  waypoint.average_speed = 30.0;
+  waypoint.duration = 6.0;
+  waypoint.warmup = 1.5;
+  waypoint.seed = 864213579;
+
+  ScenarioConfig still = waypoint;
+  still.mobility_model = "static";
+  still.protocol = "MST";
+  still.mode = core::ConsistencyMode::kWeak;
+
+  for (const auto& base : {waypoint, still}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ScenarioConfig config = base;
+      config.shards = shards;
+      const auto batched =
+          bit_snapshot(serial_reference({config}, kRepeats));
+
+      // Env hatch: MSTC_NO_BATCH_DELIVERY=1 restores the per-receiver
+      // schedule_local loop.
+      ASSERT_EQ(setenv("MSTC_NO_BATCH_DELIVERY", "1", 1), 0);
+      const ScenarioConfig hatched = apply_env_overrides(config);
+      EXPECT_FALSE(hatched.batch_delivery);
+      const auto unbatched =
+          bit_snapshot(serial_reference({hatched}, kRepeats));
+      ASSERT_EQ(unsetenv("MSTC_NO_BATCH_DELIVERY"), 0);
+      ASSERT_EQ(batched, unbatched)
+          << base.mobility_model << " fleet diverged at " << shards
+          << " shards with batched delivery";
+
+      // Belt and braces: the config-level switch takes the same path.
+      ScenarioConfig config_off = config;
+      config_off.batch_delivery = false;
+      ASSERT_EQ(bit_snapshot(serial_reference({config_off}, kRepeats)),
+                batched);
+    }
+  }
+}
+
+TEST(Determinism, ScalarFilterMatchesWideByteForByte) {
+  // The SIMD/SoA candidate filter (this PR) re-checks grid candidates
+  // against the exact range in wide blocks; lane arithmetic is
+  // operation-for-operation the scalar predicate, so the wide and scalar
+  // builds must byte-match over whole runs. grid_min_nodes = 0 forces the
+  // grid (and with it the batched filter) on representative fleets.
+  auto configs = representative_configs();
+  for (auto& config : configs) config.medium_grid_min_nodes = 0;
+  const auto wide = bit_snapshot(serial_reference(configs, kRepeats));
+
+  // Env hatch: MSTC_FILTER_SCALAR=1 routes medium and snapshot filtering
+  // through the portable scalar loop.
+  ASSERT_EQ(setenv("MSTC_FILTER_SCALAR", "1", 1), 0);
+  auto hatched = configs;
+  for (auto& config : hatched) config = apply_env_overrides(config);
+  EXPECT_TRUE(hatched.front().scalar_filter);
+  const auto scalar = bit_snapshot(serial_reference(hatched, kRepeats));
+  ASSERT_EQ(unsetenv("MSTC_FILTER_SCALAR"), 0);
+  ASSERT_EQ(wide, scalar)
+      << "wide candidate filter diverged from the scalar reference";
+
+  // Belt and braces: the config-level switch takes the same path.
+  auto config_off = configs;
+  for (auto& config : config_off) config.scalar_filter = true;
+  ASSERT_EQ(bit_snapshot(serial_reference(config_off, kRepeats)), wide);
+}
+
 }  // namespace
 }  // namespace mstc::runner

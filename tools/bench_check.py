@@ -78,6 +78,14 @@ def load(path: str) -> dict:
         print(f"bench_check: {path} has no 'bench' discriminator",
               file=sys.stderr)
         sys.exit(2)
+    version = str(data.get("version", ""))
+    if "-dirty" in version:
+        # Loud: a -dirty baseline or fresh run is not reproducible from any
+        # commit, so whatever it gates cannot be re-derived later.
+        print(f"bench_check: WARNING: {path} was produced by a -dirty build "
+              f"('{version}') — its numbers are not reproducible from a "
+              "commit; regenerate from a clean tree before trusting gates",
+              file=sys.stderr)
     return data
 
 
@@ -367,14 +375,24 @@ def compare_parallel(fresh: dict, base: dict, args) -> None:
                         args.tolerance, br["serial_heap"]["wall_s"],
                         args.min_wall)
         # Sharded speedup is machine-bound: regression-gate it only when
-        # both machines could express parallelism at all.
-        if gate_speedup:
+        # both machines could express parallelism at all, AND the arm's
+        # recorded worker threads show it actually ran in parallel — a
+        # row measured at threads == 1 is a serial run wearing a sharded
+        # label, and its speedup is noise whatever the core count says.
+        fresh_threads = fr.get("sharded", {}).get("threads", 0)
+        if gate_speedup and fresh_threads <= 1:
+            print(f"bench_parallel[{label}]: speedup gate REFUSED — the "
+                  f"sharded arm recorded {fresh_threads} worker thread(s); "
+                  "the run never expressed parallelism, so its speedup "
+                  "cannot be gated")
+        if gate_speedup and fresh_threads > 1:
             check_ratio(f"parallel[{label}]: speedup", fr["speedup"],
                         br["speedup"], args.tolerance,
                         br["serial"]["wall_s"], args.min_wall)
         # Absolute floor on capable machines: large fleets must show the
         # sharded kernel actually paying off.
         if (fresh_cores >= PARALLEL_MIN_CORES
+                and fresh_threads > 1
                 and fr.get("nodes", 0) >= PARALLEL_SPEEDUP_FLOOR_NODES
                 and fr["serial"]["wall_s"] >= args.min_wall):
             check(fr["speedup"] >= PARALLEL_SPEEDUP_FLOOR,

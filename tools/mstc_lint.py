@@ -95,6 +95,13 @@ RULES = {
         "(sim::Medium, core::for_each_snapshot_candidates); suppress "
         "deliberate brute-force baselines with a justification"
     ),
+    "per-receiver-schedule": (
+        "loop over a receiver set scheduling one simulator event per "
+        "receiver: broadcast deliveries belong in a single batched "
+        "Simulator::schedule_fanout event; suppress deliberate "
+        "per-receiver timing (randomized backoffs, differential "
+        "baselines) with a justification"
+    ),
 }
 
 RAW_RANDOM_RE = re.compile(
@@ -127,6 +134,14 @@ FLEET_SUBSCRIPT_RE = re.compile(r"(?:positions|controllers)\w*\s*\[")
 # window scanned for a fleet subscript.
 ALL_PAIRS_LOOKBACK = 4
 ALL_PAIRS_LOOKAHEAD = 7
+
+# per-receiver-schedule: a for-loop iterating a receiver/target set whose
+# body (the lookahead window) pushes an event per iteration. schedule_fanout
+# itself is deliberately absent from the call pattern — routing the loop
+# through the batched API is the fix.
+RECEIVER_LOOP_RE = re.compile(r"\bfor\s*\([^)]*(?:receiver|target)")
+SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:serial|local|at|in)\s*\(")
+PER_RECEIVER_LOOKAHEAD = 10
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -249,6 +264,19 @@ def lint_file(path: Path) -> list[Finding]:
         # (the enclosing line must leave its block open, i.e. end with '{',
         # so a completed one-line loop a few lines up does not count) whose
         # body subscripts a fleet-indexed array.
+        # per-receiver-schedule: a receiver-set loop whose body schedules a
+        # simulator event per receiver instead of one batched fan-out.
+        if is_library_code(path) and RECEIVER_LOOP_RE.search(line):
+            window = stripped_lines[index:index + PER_RECEIVER_LOOKAHEAD]
+            for offset, body_line in enumerate(window[1:], start=1):
+                if SCHEDULE_CALL_RE.search(body_line):
+                    report(index, "per-receiver-schedule")
+                    break
+                # A nested loop owns any schedule call after it; it is
+                # scanned (and reported) on its own line.
+                if re.search(r"\bfor\s*\(", body_line):
+                    break
+
         if (is_library_code(path) and not is_spatial_index_unit(path)
                 and INDEX_FOR_RE.search(line)):
             enclosing = any(
